@@ -1,0 +1,311 @@
+// Package semloc's benchmark harness: one testing.B benchmark per table
+// and figure of the paper, plus ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark regenerates its artifact and reports
+// the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. Benchmarks default to a reduced
+// workload scale so the full sweep stays tractable; set
+// SEMLOC_BENCH_SCALE=1 for paper-size runs.
+package semloc
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"semloc/internal/core"
+	"semloc/internal/exp"
+	"semloc/internal/sim"
+	"semloc/internal/stats"
+)
+
+// benchScale returns the workload scale for benchmarks.
+func benchScale() float64 {
+	if s := os.Getenv("SEMLOC_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.15
+}
+
+func benchRunner() *exp.Runner {
+	opts := exp.DefaultOptions()
+	opts.Scale = benchScale()
+	return exp.NewRunner(opts)
+}
+
+// runExperiment executes one figure/table experiment per benchmark
+// iteration, discarding the textual output.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := benchRunner() // fresh runner: measure full regeneration
+		if err := e.Run(r, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Config regenerates the machine-parameter table.
+func BenchmarkTable2Config(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3Workloads regenerates the workload inventory.
+func BenchmarkTable3Workloads(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig1InsertionSortLocality regenerates Figure 1's access map.
+func BenchmarkFig1InsertionSortLocality(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig5RewardFunction regenerates the reward-function series.
+func BenchmarkFig5RewardFunction(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig8HitDepthCDF regenerates the hit-depth CDFs and reports the
+// fraction of hits inside the reward window for the flagship list
+// µbenchmark (the paper's "step" at the window edge).
+func BenchmarkFig8HitDepthCDF(b *testing.B) {
+	r := benchRunner()
+	var inWindow float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.Result("list", "context")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rw := core.DefaultRewardConfig()
+		inWindow = res.HitDepths.Fraction(rw.Low, rw.High)
+	}
+	b.ReportMetric(inWindow, "hits-in-window")
+}
+
+// BenchmarkFig9AccuracyTimeliness regenerates the category breakdown and
+// reports the context prefetcher's useful-prefetch fraction on list.
+func BenchmarkFig9AccuracyTimeliness(b *testing.B) {
+	r := benchRunner()
+	var useful float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.Result("list", "context")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := res.Categories
+		useful = float64(c.HitPrefetched+c.ShorterWait) / float64(c.Demand)
+	}
+	b.ReportMetric(useful, "useful-prefetch-frac")
+}
+
+// BenchmarkFig10L1MPKI reports the context prefetcher's average L1 MPKI
+// reduction factor over the µbenchmarks.
+func BenchmarkFig10L1MPKI(b *testing.B) {
+	benchMPKI(b, func(res *sim.Result) float64 { return res.L1MPKI() })
+}
+
+// BenchmarkFig11L2MPKI reports the L2 MPKI reduction factor.
+func BenchmarkFig11L2MPKI(b *testing.B) {
+	benchMPKI(b, func(res *sim.Result) float64 { return res.L2MPKI() })
+}
+
+func benchMPKI(b *testing.B, metric func(*sim.Result) float64) {
+	b.Helper()
+	r := benchRunner()
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		var base, ctx float64
+		for _, wl := range exp.MicroWorkloads() {
+			bres, err := r.Result(wl, "none")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cres, err := r.Result(wl, "context")
+			if err != nil {
+				b.Fatal(err)
+			}
+			base += metric(bres)
+			ctx += metric(cres)
+		}
+		if ctx > 0 {
+			factor = base / ctx
+		}
+	}
+	b.ReportMetric(factor, "mpki-reduction-x")
+}
+
+// BenchmarkFig12Speedup regenerates the speedup comparison over the
+// µbenchmark suite and reports the context average and its margin over the
+// best competing prefetcher.
+func BenchmarkFig12Speedup(b *testing.B) {
+	r := benchRunner()
+	var ctxAvg, bestOther float64
+	for i := 0; i < b.N; i++ {
+		sums := map[string][]float64{}
+		for _, wl := range exp.MicroWorkloads() {
+			for _, pn := range []string{"ghb-gdc", "sms", "context"} {
+				s, err := r.Speedup(wl, pn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sums[pn] = append(sums[pn], s)
+			}
+		}
+		ctxAvg = stats.Mean(sums["context"])
+		bestOther = stats.Mean(sums["sms"])
+		if g := stats.Mean(sums["ghb-gdc"]); g > bestOther {
+			bestOther = g
+		}
+	}
+	b.ReportMetric(ctxAvg, "context-speedup")
+	b.ReportMetric(bestOther, "best-competitor")
+}
+
+// BenchmarkFig13StorageSweep reports the speedup at small, default and
+// large CST sizes on the flagship workload, exposing the paper's
+// non-monotonicity.
+func BenchmarkFig13StorageSweep(b *testing.B) {
+	for _, entries := range []int{512, 2048, 16384} {
+		entries := entries
+		b.Run(fmt.Sprintf("cst=%d", entries), func(b *testing.B) {
+			r := benchRunner()
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				base, err := r.Result("list", "none")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := core.DefaultConfig()
+				cfg.CSTEntries = entries
+				cfg.ReducerEntries = entries * 8
+				pf, err := core.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr, err := r.Trace("list")
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(tr, pf, r.Options().Sim)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = res.IPC() / base.IPC()
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkFig14LayoutAgnostic reports how close the context prefetcher
+// brings the naive linked Graph500 to the CSR layout, vs no prefetching.
+func BenchmarkFig14LayoutAgnostic(b *testing.B) {
+	r := benchRunner()
+	var gapNone, gapCtx float64
+	for i := 0; i < b.N; i++ {
+		for _, pn := range []string{"none", "context"} {
+			csr, err := r.Result("graph500", pn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lst, err := r.Result("graph500-list", pn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap := lst.CPU.CPI() / csr.CPU.CPI()
+			if pn == "none" {
+				gapNone = gap
+			} else {
+				gapCtx = gap
+			}
+		}
+	}
+	b.ReportMetric(gapNone, "linked-gap-none")
+	b.ReportMetric(gapCtx, "linked-gap-context")
+}
+
+// --- ablation benches (DESIGN.md §5) ---
+
+// ablate runs the named workload with a variant context-prefetcher
+// configuration and reports its speedup next to the default's.
+func ablate(b *testing.B, workload string, mutate func(*core.Config)) {
+	b.Helper()
+	r := benchRunner()
+	var def, variant float64
+	for i := 0; i < b.N; i++ {
+		base, err := r.Result(workload, "none")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defRes, err := r.Result(workload, "context")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		mutate(&cfg)
+		pf, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := r.Trace(workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(tr, pf, r.Options().Sim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		def = defRes.IPC() / base.IPC()
+		variant = res.IPC() / base.IPC()
+	}
+	b.ReportMetric(def, "default-speedup")
+	b.ReportMetric(variant, "variant-speedup")
+}
+
+// BenchmarkAblationRewardShape compares the bell-shaped reward against a
+// flat in-window reward.
+func BenchmarkAblationRewardShape(b *testing.B) {
+	ablate(b, "list", func(c *core.Config) { c.Reward.Flat = true })
+}
+
+// BenchmarkAblationReducer disables online feature selection (full
+// attribute set always active).
+func BenchmarkAblationReducer(b *testing.B) {
+	ablate(b, "list", func(c *core.Config) { c.DisableReducer = true })
+}
+
+// BenchmarkAblationShadow disables shadow prefetches.
+func BenchmarkAblationShadow(b *testing.B) {
+	ablate(b, "list", func(c *core.Config) { c.DisableShadow = true })
+}
+
+// BenchmarkAblationEpsilon fixes ε instead of adapting it to accuracy.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	ablate(b, "list", func(c *core.Config) { c.AdaptiveEpsilon = false })
+}
+
+// BenchmarkAblationSampling restricts collection to a few sparse history
+// depths (risking residue blind spots; see config.go).
+func BenchmarkAblationSampling(b *testing.B) {
+	ablate(b, "mcf", func(c *core.Config) { c.SampleDepths = []int{5, 17, 29, 41} })
+}
+
+// BenchmarkAblationGranularity runs the prefetcher at word granularity,
+// the table-thrashing regime §7.3 warns about.
+func BenchmarkAblationGranularity(b *testing.B) {
+	ablate(b, "list", func(c *core.Config) { c.BlockShift = 3 })
+}
+
+// BenchmarkExtensionSoftmax evaluates the softmax exploration policy
+// (§8 future work) against the paper's ε-greedy default.
+func BenchmarkExtensionSoftmax(b *testing.B) {
+	ablate(b, "list", func(c *core.Config) { c.Policy = core.PolicySoftmax })
+}
+
+// BenchmarkExtensionUCB evaluates upper-confidence-bound exploration
+// (§8 future work) against the paper's ε-greedy default.
+func BenchmarkExtensionUCB(b *testing.B) {
+	ablate(b, "list", func(c *core.Config) { c.Policy = core.PolicyUCB })
+}

@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                 # run everything (Table 2/3, Figures 1-14)
+//	experiments -run fig12      # one experiment
+//	experiments -run fig12,fig14 -scale 0.5
+//	experiments -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"semloc/internal/exp"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		scale = flag.Float64("scale", 1, "workload scale factor")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		list  = flag.Bool("list", false, "list experiment ids")
+		par   = flag.Int("parallel", 0, "max concurrent simulations (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := exp.DefaultOptions()
+	opts.Scale = *scale
+	opts.Seed = *seed
+	opts.Parallelism = *par
+	runner := exp.NewRunner(opts)
+
+	var selected []exp.Experiment
+	if *run == "" {
+		selected = exp.Experiments()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("### %s — %s (scale %g)\n\n", e.ID, e.Title, *scale)
+		start := time.Now()
+		if err := e.Run(runner, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

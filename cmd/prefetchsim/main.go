@@ -1,0 +1,139 @@
+// Command prefetchsim runs one workload under one or more prefetchers and
+// prints the headline metrics (IPC, speedup vs no prefetching, MPKI,
+// access categories).
+//
+// Usage:
+//
+//	prefetchsim -workload list [-prefetchers context,sms,none] [-scale 1] [-seed 1] [-v]
+//	prefetchsim -workload list -config machine.json
+//	prefetchsim -trace list.trace # replay a serialized trace (see tracegen)
+//	prefetchsim -list             # list available workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"semloc/internal/exp"
+	"semloc/internal/prefetch"
+	"semloc/internal/sim"
+	"semloc/internal/stats"
+	"semloc/internal/trace"
+	"semloc/internal/workloads"
+)
+
+func main() {
+	var (
+		workload    = flag.String("workload", "", "workload name (see -list)")
+		traceFile   = flag.String("trace", "", "replay a serialized trace instead of generating a workload")
+		prefetchers = flag.String("prefetchers", "none,stride,ghb-gdc,ghb-pcdc,sms,markov,context", "comma-separated prefetcher names")
+		scale       = flag.Float64("scale", 1, "workload scale factor")
+		seed        = flag.Uint64("seed", 1, "workload seed")
+		list        = flag.Bool("list", false, "list available workloads")
+		verbose     = flag.Bool("v", false, "print access-category breakdown")
+		configPath  = flag.String("config", "", "JSON machine/prefetcher config (see exp.FileConfig)")
+	)
+	flag.Parse()
+
+	if *list {
+		tb := stats.NewTable("workloads (Table 3)", "name", "suite", "irregular", "description")
+		for _, w := range workloads.All() {
+			tb.AddRow(w.Name, w.Suite, w.Irregular, w.Description)
+		}
+		tb.Render(os.Stdout)
+		return
+	}
+	if *workload == "" && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "prefetchsim: -workload or -trace required (or -list)")
+		os.Exit(2)
+	}
+	var tr *trace.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+			os.Exit(1)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prefetchsim: reading trace:", err)
+			os.Exit(1)
+		}
+	} else {
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+			os.Exit(2)
+		}
+		tr = w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
+	}
+	st := tr.ComputeStats()
+	fmt.Printf("workload %s: %d records, %d instructions, %d loads (%d dependent), %d stores\n\n",
+		tr.Name, st.Records, st.Instructions, st.Loads, st.Dependent, st.Stores)
+
+	var fc *exp.FileConfig
+	if *configPath != "" {
+		var err error
+		fc, err = exp.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+			os.Exit(2)
+		}
+	}
+	cfg := fc.SimConfig()
+	var baseIPC float64
+	tb := stats.NewTable("results", "prefetcher", "IPC", "speedup", "L1 MPKI", "L2 MPKI", "cycles")
+	var verboseRows []string
+	for _, name := range strings.Split(*prefetchers, ",") {
+		name = strings.TrimSpace(name)
+		var pf prefetch.Prefetcher
+		var err error
+		if name == "oracle" {
+			pf = prefetch.NewOracle(tr, 0)
+		} else {
+			pf, err = exp.NewPrefetcherWith(name, fc)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+			os.Exit(2)
+		}
+		res, err := sim.Run(tr, pf, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+			os.Exit(1)
+		}
+		if name == "none" {
+			baseIPC = res.IPC()
+		}
+		speedup := 0.0
+		if baseIPC > 0 {
+			speedup = res.IPC() / baseIPC
+		}
+		tb.AddRow(res.Prefetcher, res.IPC(), speedup, res.L1MPKI(), res.L2MPKI(), res.CPU.Cycles)
+		if *verbose {
+			c := res.Categories
+			d := float64(c.Demand)
+			verboseRows = append(verboseRows, fmt.Sprintf(
+				"%-10s hitPF=%.3f shorterWait=%.3f nonTimely=%.3f missNoPF=%.3f hitDemand=%.3f neverHit=%.3f",
+				res.Prefetcher, f(c.HitPrefetched, d), f(c.ShorterWait, d), f(c.NonTimely, d),
+				f(c.MissNotPrefetched, d), f(c.HitOlderDemand, d), f(c.PrefetchNeverHit, d)))
+		}
+	}
+	tb.Render(os.Stdout)
+	if *verbose {
+		fmt.Println("\naccess categories (fraction of demand accesses):")
+		for _, row := range verboseRows {
+			fmt.Println(row)
+		}
+	}
+}
+
+func f(n uint64, d float64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / d
+}

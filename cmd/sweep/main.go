@@ -1,0 +1,166 @@
+// Command sweep measures the context prefetcher's sensitivity to one
+// configuration parameter: it runs a workload across a list of values and
+// prints speedup (vs no prefetching), MPKI and learning metrics per value.
+//
+// Usage:
+//
+//	sweep -workload list -param epsilon -values 0,0.02,0.05,0.1,0.2
+//	sweep -workload mcf -param maxdegree -values 1,2,4,8 -scale 0.5
+//	sweep -params                      # list sweepable parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"semloc/internal/core"
+	"semloc/internal/prefetch"
+	"semloc/internal/sim"
+	"semloc/internal/stats"
+	"semloc/internal/workloads"
+)
+
+// param describes one sweepable configuration axis.
+type param struct {
+	name  string
+	desc  string
+	apply func(cfg *core.Config, v string) error
+}
+
+var params = []param{
+	{"epsilon", "exploration rate of the ε-greedy policy", func(c *core.Config, v string) error {
+		f, err := strconv.ParseFloat(v, 64)
+		c.Epsilon = f
+		return err
+	}},
+	{"maxdegree", "maximum prefetches per access", func(c *core.Config, v string) error {
+		n, err := strconv.Atoi(v)
+		c.MaxDegree = n
+		return err
+	}},
+	{"cstentries", "context-states-table entries (reducer scales at 8x)", func(c *core.Config, v string) error {
+		n, err := strconv.Atoi(v)
+		c.CSTEntries = n
+		c.ReducerEntries = n * 8
+		return err
+	}},
+	{"cstlinks", "candidate links per CST entry", func(c *core.Config, v string) error {
+		n, err := strconv.Atoi(v)
+		c.CSTLinks = n
+		return err
+	}},
+	{"history", "history queue depth (sample depths adjust to fit)", func(c *core.Config, v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return err
+		}
+		c.HistoryDepth = n
+		var depths []int
+		for d := 1; d < n; d++ {
+			depths = append(depths, d)
+		}
+		c.SampleDepths = depths
+		return nil
+	}},
+	{"queue", "prefetch queue depth", func(c *core.Config, v string) error {
+		n, err := strconv.Atoi(v)
+		c.QueueDepth = n
+		return err
+	}},
+	{"blockshift", "log2 of the prefetch block size", func(c *core.Config, v string) error {
+		n, err := strconv.Atoi(v)
+		c.BlockShift = uint(n)
+		return err
+	}},
+	{"rewardhigh", "upper edge of the positive reward window", func(c *core.Config, v string) error {
+		n, err := strconv.Atoi(v)
+		c.Reward.High = n
+		return err
+	}},
+	{"policy", "exploration policy (egreedy, softmax, ucb)", func(c *core.Config, v string) error {
+		p, err := core.ParsePolicy(v)
+		c.Policy = p
+		return err
+	}},
+}
+
+func findParam(name string) (param, bool) {
+	for _, p := range params {
+		if p.name == name {
+			return p, true
+		}
+	}
+	return param{}, false
+}
+
+func main() {
+	var (
+		workload  = flag.String("workload", "list", "workload name")
+		paramName = flag.String("param", "", "parameter to sweep (see -params)")
+		values    = flag.String("values", "", "comma-separated parameter values")
+		scale     = flag.Float64("scale", 0.3, "workload scale factor")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		list      = flag.Bool("params", false, "list sweepable parameters")
+	)
+	flag.Parse()
+
+	if *list {
+		sort.Slice(params, func(i, j int) bool { return params[i].name < params[j].name })
+		for _, p := range params {
+			fmt.Printf("%-12s %s\n", p.name, p.desc)
+		}
+		return
+	}
+	p, ok := findParam(*paramName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q (see -params)\n", *paramName)
+		os.Exit(2)
+	}
+	if *values == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -values required")
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	tr := w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
+	machine := sim.DefaultConfig()
+
+	base, err := sim.Run(tr, prefetch.NewNone(), machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("sweep %s over %s on %s (scale %g)", *paramName, *values, *workload, *scale),
+		*paramName, "speedup", "IPC", "L1 MPKI", "accuracy", "real-prefetches", "storage")
+	for _, v := range strings.Split(*values, ",") {
+		v = strings.TrimSpace(v)
+		cfg := core.DefaultConfig()
+		if err := p.apply(&cfg, v); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: value %q: %v\n", v, err)
+			os.Exit(2)
+		}
+		pf, err := core.New(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: value %q: %v\n", v, err)
+			os.Exit(2)
+		}
+		res, err := sim.Run(tr, pf, machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		m := pf.Metrics()
+		tb.AddRow(v, res.IPC()/base.IPC(), res.IPC(), res.L1MPKI(), pf.Accuracy(),
+			m.RealPrefetches, fmt.Sprintf("%dkB", cfg.StorageBytes()>>10))
+	}
+	tb.Render(os.Stdout)
+}

@@ -1,0 +1,71 @@
+// Command tracegen generates a workload trace and writes it in the binary
+// trace format, so experiments can replay identical traces and traces can
+// be shared between machines.
+//
+// Usage:
+//
+//	tracegen -workload list -o list.trace [-scale 1] [-seed 1] [-gzip]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semloc/internal/trace"
+	"semloc/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload name (see prefetchsim -list)")
+		out      = flag.String("o", "", "output file (default <workload>.trace)")
+		scale    = flag.Float64("scale", 1, "workload scale factor")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		gz       = flag.Bool("gzip", false, "gzip-compress the output")
+	)
+	flag.Parse()
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -workload required")
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = *workload + ".trace"
+		if *gz {
+			path += ".gz"
+		}
+	}
+	tr := w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: generated invalid trace:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	write := trace.Write
+	if *gz {
+		write = trace.WriteGzip
+	}
+	if err := write(f, tr); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "tracegen: writing trace:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	st := tr.ComputeStats()
+	info, _ := os.Stat(path)
+	fmt.Printf("wrote %s: %d records (%d instructions, %d loads, %d stores), %d bytes\n",
+		path, st.Records, st.Instructions, st.Loads, st.Stores, info.Size())
+}

@@ -1,0 +1,3 @@
+module semloc
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package cache models the two-level cache hierarchy of the paper's
+// simulated machine (Table 2): a private L1 data cache and a shared L2,
+// backed by fixed-latency DRAM, with per-level MSHR files that bound the
+// number of outstanding misses.
+//
+// The model is a timing approximation driven by the CPU model: every access
+// carries the cycle at which it is issued and returns the cycle at which its
+// data is available. Lines track whether they were filled by a prefetch and
+// whether they have been touched by a demand access, which is what the
+// paper's Figure 9 access-category breakdown needs.
+package cache
+
+import (
+	"fmt"
+
+	"semloc/internal/memmodel"
+)
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	// Name appears in statistics output ("L1D", "L2").
+	Name string
+	// Size is the capacity in bytes.
+	Size int
+	// Ways is the set associativity.
+	Ways int
+	// Latency is the access (hit) latency in cycles.
+	Latency Cycle
+	// MSHRs bounds outstanding misses at this level.
+	MSHRs int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c LevelConfig) Sets() int {
+	return c.Size / (memmodel.LineSize * c.Ways)
+}
+
+// Validate reports configuration errors.
+func (c LevelConfig) Validate() error {
+	if c.Size <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %s: size and ways must be positive", c.Name)
+	}
+	if c.Size%(memmodel.LineSize*c.Ways) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by ways*linesize", c.Name, c.Size)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %s: MSHRs must be positive", c.Name)
+	}
+	return nil
+}
+
+// Config describes the full hierarchy.
+type Config struct {
+	L1 LevelConfig
+	L2 LevelConfig
+	// DRAMLatency is the main-memory access latency in cycles.
+	DRAMLatency Cycle
+	// PrefetchQueue bounds outstanding prefetch requests (the prefetcher's
+	// request queue between L1 and L2). Defaults to 8 when zero.
+	PrefetchQueue int
+	// DRAMChannels and DRAMBusyCycles model memory bandwidth: each DRAM
+	// access occupies one of DRAMChannels channels for DRAMBusyCycles
+	// before another request can use it. Demand and prefetch traffic
+	// share the channels, so overfetching prefetchers pay for their
+	// waste. Defaults: 4 channels, 16 cycles (0.25 lines/cycle peak).
+	DRAMChannels   int
+	DRAMBusyCycles Cycle
+}
+
+// DefaultConfig returns the Table 2 configuration: 64 kB 8-way 2-cycle L1D,
+// 2 MB 16-way 20-cycle L2, 300-cycle main memory, 4 L1 MSHRs, 20 L2 MSHRs.
+func DefaultConfig() Config {
+	return Config{
+		L1:             LevelConfig{Name: "L1D", Size: 64 << 10, Ways: 8, Latency: 2, MSHRs: 4},
+		L2:             LevelConfig{Name: "L2", Size: 2 << 20, Ways: 16, Latency: 20, MSHRs: 20},
+		DRAMLatency:    300,
+		PrefetchQueue:  8,
+		DRAMChannels:   4,
+		DRAMBusyCycles: 16,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if c.DRAMLatency == 0 {
+		return fmt.Errorf("cache: DRAM latency must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"semloc/internal/memmodel"
+)
+
+// way is one cache way's metadata.
+type way struct {
+	tag   uint64
+	valid bool
+	// fillTime is the cycle at which the line's data arrives. A line may be
+	// "present" in the tag array while still in flight (fillTime in the
+	// future); a demand access then merges with the outstanding fill.
+	fillTime Cycle
+	// prefetched marks lines brought in by a prefetch that have not yet been
+	// touched by a demand access.
+	prefetched bool
+	// everUsed marks prefetched lines that were eventually demanded.
+	everUsed bool
+	// dirty marks lines written since fill (write-back policy).
+	dirty bool
+	// lru is the last-touch stamp for replacement.
+	lru uint64
+}
+
+// LevelStats counts events at one level.
+type LevelStats struct {
+	Name          string
+	Accesses      uint64 // demand accesses
+	Misses        uint64 // demand misses (including in-flight merges)
+	InFlightHits  uint64 // demand accesses merged with an outstanding fill
+	Prefetches    uint64 // prefetch fills installed
+	PrefetchDrops uint64 // prefetches dropped (already present or in flight)
+	UselessEvicts uint64 // prefetched-but-never-used lines evicted
+	Writebacks    uint64 // dirty lines written back on eviction
+}
+
+// MissRate returns demand misses / demand accesses.
+func (s LevelStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// level is one cache level's state.
+type level struct {
+	cfg      LevelConfig
+	setMask  uint64
+	sets     [][]way
+	lruClock uint64
+	mshr     mshrFile
+	stats    LevelStats
+}
+
+func newLevel(cfg LevelConfig) *level {
+	sets := cfg.Sets()
+	l := &level{
+		cfg:     cfg,
+		setMask: uint64(sets - 1),
+		sets:    make([][]way, sets),
+		mshr:    newMSHRFile(cfg.MSHRs),
+	}
+	ways := make([]way, sets*cfg.Ways)
+	for i := range l.sets {
+		l.sets[i] = ways[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	l.stats.Name = cfg.Name
+	return l
+}
+
+func (l *level) setOf(line memmodel.Line) []way {
+	return l.sets[uint64(line)&l.setMask]
+}
+
+// lookup returns the way holding line, or nil.
+func (l *level) lookup(line memmodel.Line) *way {
+	set := l.setOf(line)
+	tag := uint64(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touch updates LRU state.
+func (l *level) touch(w *way) {
+	l.lruClock++
+	w.lru = l.lruClock
+}
+
+// victim picks the replacement way for line's set: an invalid way if one
+// exists, otherwise the LRU way. Lines still in flight (fillTime beyond now)
+// are protected from replacement when possible, matching MSHR-held fills.
+func (l *level) victim(line memmodel.Line, now Cycle) *way {
+	set := l.setOf(line)
+	var lru *way
+	var lruAny *way
+	for i := range set {
+		w := &set[i]
+		if !w.valid {
+			return w
+		}
+		if lruAny == nil || w.lru < lruAny.lru {
+			lruAny = w
+		}
+		if w.fillTime <= now && (lru == nil || w.lru < lru.lru) {
+			lru = w
+		}
+	}
+	if lru == nil {
+		lru = lruAny
+	}
+	return lru
+}
+
+// install places line into the cache, filling at fillTime, evicting as
+// needed. It returns the way installed into. When lruInsert is set the
+// line lands at LRU position instead of MRU (prefetch-conscious
+// insertion).
+// install's victim eviction reports whether a dirty line was displaced so
+// the hierarchy can generate write-back traffic.
+func (l *level) install(line memmodel.Line, now, fillTime Cycle, prefetched, lruInsert bool) (w *way, dirtyEvict bool) {
+	w = l.victim(line, now)
+	if w.valid && w.prefetched && !w.everUsed {
+		l.stats.UselessEvicts++
+	}
+	if w.valid && w.dirty {
+		l.stats.Writebacks++
+		dirtyEvict = true
+	}
+	*w = way{tag: uint64(line), valid: true, fillTime: fillTime, prefetched: prefetched}
+	if lruInsert {
+		w.lru = 0
+	} else {
+		l.touch(w)
+	}
+	return w, dirtyEvict
+}
+
+// FlushNeverUsed scans for prefetched-but-never-demanded lines still
+// resident at end of simulation and counts them as useless.
+func (l *level) flushNeverUsed() {
+	for _, set := range l.sets {
+		for i := range set {
+			if set[i].valid && set[i].prefetched && !set[i].everUsed {
+				l.stats.UselessEvicts++
+			}
+		}
+	}
+}
+
+// mshrFile models a fixed number of miss-status holding registers. A miss
+// occupies a register until its fill completes; when all registers are busy
+// a new miss waits for the earliest release.
+type mshrFile struct {
+	busyUntil []Cycle
+}
+
+func newMSHRFile(n int) mshrFile {
+	return mshrFile{busyUntil: make([]Cycle, n)}
+}
+
+// acquire reserves a register for a miss issued at time t that will need
+// the register until complete(start) returns its completion time. It
+// returns the actual start time (>= t; delayed if all registers are busy)
+// and a function to call with the completion time.
+func (m *mshrFile) acquire(t Cycle) (start Cycle, idx int) {
+	best := 0
+	for i := 1; i < len(m.busyUntil); i++ {
+		if m.busyUntil[i] < m.busyUntil[best] {
+			best = i
+		}
+	}
+	start = t
+	if m.busyUntil[best] > t {
+		start = m.busyUntil[best]
+	}
+	return start, best
+}
+
+func (m *mshrFile) hold(idx int, until Cycle) {
+	m.busyUntil[idx] = until
+}
+
+// free counts registers free at time t.
+func (m *mshrFile) free(t Cycle) int {
+	n := 0
+	for _, b := range m.busyUntil {
+		if b <= t {
+			n++
+		}
+	}
+	return n
+}

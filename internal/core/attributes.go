@@ -1,0 +1,154 @@
+package core
+
+import (
+	"semloc/internal/prefetch"
+)
+
+// AttrID enumerates the context attributes of Table 1.
+type AttrID uint8
+
+// Context attributes. The first four form the default active set; the
+// rest are activated by the Reducer on context overload, in this order.
+const (
+	// AttrPC is the instruction pointer of the load site.
+	AttrPC AttrID = iota
+	// AttrTypeID is the compiler-enumerated object type.
+	AttrTypeID
+	// AttrLinkOffset is the in-object offset of the link pointer.
+	AttrLinkOffset
+	// AttrRefForm is the syntactic reference form.
+	AttrRefForm
+	// AttrBranchHist is the global branch history register.
+	AttrBranchHist
+	// AttrReg is the relevant general-register operand.
+	AttrReg
+	// AttrLastValue is the most recently loaded data value.
+	AttrLastValue
+	// AttrAddrHist folds the last two access deltas ("history of recent
+	// memory accesses" — used sparingly, as the paper warns it risks
+	// overly localized learning).
+	AttrAddrHist
+	// NumAttrs is the attribute count.
+	NumAttrs
+)
+
+// attrName reports the attribute's Table 1 name.
+func (a AttrID) String() string {
+	switch a {
+	case AttrPC:
+		return "pc"
+	case AttrTypeID:
+		return "type"
+	case AttrLinkOffset:
+		return "linkoff"
+	case AttrRefForm:
+		return "refform"
+	case AttrBranchHist:
+		return "branchhist"
+	case AttrReg:
+		return "reg"
+	case AttrLastValue:
+		return "lastvalue"
+	case AttrAddrHist:
+		return "addrhist"
+	default:
+		return "attr(?)"
+	}
+}
+
+// AttrSet is a bitmap of active attributes.
+type AttrSet uint8
+
+// Has reports whether id is in the set.
+func (s AttrSet) Has(id AttrID) bool { return s&(1<<id) != 0 }
+
+// With returns the set with id added.
+func (s AttrSet) With(id AttrID) AttrSet { return s | 1<<id }
+
+// Without returns the set with id removed.
+func (s AttrSet) Without(id AttrID) AttrSet { return s &^ (1 << id) }
+
+// Count returns the number of active attributes.
+func (s AttrSet) Count() int {
+	n := 0
+	for id := AttrID(0); id < NumAttrs; id++ {
+		if s.Has(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// DefaultAttrSet is the initial active set: the load site plus the three
+// compiler hints, the attributes that most directly encode access
+// semantics.
+const DefaultAttrSet AttrSet = 1<<AttrPC | 1<<AttrTypeID | 1<<AttrLinkOffset | 1<<AttrRefForm
+
+// FullAttrSet has every attribute active (reducer-disabled ablation).
+const FullAttrSet AttrSet = 1<<NumAttrs - 1
+
+// activationOrder lists the attributes the reducer may activate on context
+// overload, in order: control flow first (cheap, often sufficient), then
+// the previously loaded value (identifies the current node of a linked
+// traversal), then the register operand (distinguishes lookup keys), then
+// the address history (the paper warns it must be used sparingly).
+var activationOrder = [...]AttrID{AttrBranchHist, AttrLastValue, AttrReg, AttrAddrHist}
+
+// contextVector holds one access's attribute values, indexed by AttrID.
+type contextVector [NumAttrs]uint64
+
+// machineState tracks the hardware attributes that are not carried by the
+// access itself: recent access deltas and the last loaded value.
+type machineState struct {
+	lastLines [2]uint64
+	lastValue uint64
+}
+
+// capture builds the context vector for access a.
+func (m *machineState) capture(a *prefetch.Access, blockShift uint) contextVector {
+	block := uint64(a.Addr) >> blockShift
+	var v contextVector
+	v[AttrPC] = a.PC
+	v[AttrTypeID] = uint64(a.Hints.TypeID)
+	v[AttrLinkOffset] = uint64(a.Hints.LinkOffset)
+	v[AttrRefForm] = uint64(a.Hints.RefForm)
+	if a.Hints.Valid {
+		// Distinguish "hint present" from zero-valued hints.
+		v[AttrTypeID] |= 1 << 32
+		v[AttrLinkOffset] |= 1 << 32
+		v[AttrRefForm] |= 1 << 32
+	}
+	v[AttrBranchHist] = uint64(a.BranchHist)
+	v[AttrReg] = a.Reg
+	v[AttrLastValue] = m.lastValue
+	d0 := block - m.lastLines[0]
+	d1 := m.lastLines[0] - m.lastLines[1]
+	v[AttrAddrHist] = d0*0x100000001 ^ d1
+	return v
+}
+
+// update advances the machine state after access a.
+func (m *machineState) update(a *prefetch.Access, blockShift uint) {
+	m.lastLines[1] = m.lastLines[0]
+	m.lastLines[0] = uint64(a.Addr) >> blockShift
+	if a.Value != 0 {
+		m.lastValue = a.Value
+	}
+}
+
+// hashContext mixes the active attributes of v into a 64-bit hash. The
+// caller truncates to the width it needs (16 bits for the reducer index,
+// 19 bits for the CST index).
+func hashContext(v *contextVector, active AttrSet) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for id := AttrID(0); id < NumAttrs; id++ {
+		if !active.Has(id) {
+			continue
+		}
+		h ^= uint64(id+1) * 0xff51afd7ed558ccd
+		h ^= v[id]
+		h *= 0xc4ceb9fe1a85ec53
+		h ^= h >> 33
+	}
+	return h
+}

@@ -1,0 +1,78 @@
+package core
+
+// bandit holds the exploration/exploitation policy state: an ε-greedy rule
+// whose exploration rate adapts to prediction accuracy (§4.1, following
+// Tokic's value-difference-based adaptation — exploration decays as the
+// predictor converges), plus the accuracy estimate that throttles the
+// prefetch degree (§5).
+type bandit struct {
+	epsilon  float64
+	adaptive bool
+	base     float64
+	// accuracy is an exponential moving estimate of the prefetch-queue hit
+	// rate in [0,1].
+	accuracy float64
+	rng      uint64
+}
+
+func newBandit(epsilon float64, adaptive bool, seed uint64) *bandit {
+	if seed == 0 {
+		seed = 1
+	}
+	return &bandit{epsilon: epsilon, base: epsilon, adaptive: adaptive, accuracy: 0.5, rng: seed}
+}
+
+func (b *bandit) next() uint64 {
+	b.rng += 0x9e3779b97f4a7c15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// explore decides whether this prediction should be an exploration step.
+func (b *bandit) explore() bool {
+	if b.epsilon <= 0 {
+		return false
+	}
+	return float64(b.next()>>11)/float64(1<<53) < b.epsilon
+}
+
+// pick returns a uniformly random element of xs (xs must be non-empty).
+func (b *bandit) pick(xs []int) int {
+	return xs[b.next()%uint64(len(xs))]
+}
+
+const accuracyGain = 1.0 / 256
+
+// feedback folds one prediction outcome into the accuracy estimate and,
+// when adaptive, re-derives ε: high accuracy means the predictor has
+// converged and exploration tapers toward a floor; low accuracy raises
+// exploration back toward the base rate.
+func (b *bandit) feedback(hit bool) {
+	target := 0.0
+	if hit {
+		target = 1.0
+	}
+	b.accuracy += (target - b.accuracy) * accuracyGain
+	if b.adaptive {
+		const floor = 0.2
+		b.epsilon = b.base * (floor + (1-floor)*(1-b.accuracy))
+	}
+}
+
+// degree scales the number of real prefetches per access by accuracy: a
+// converged predictor streams aggressively, a struggling one stays timid.
+func (b *bandit) degree(max int) int {
+	d := 1 + int(b.accuracy*float64(max))
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// reset restores initial policy state.
+func (b *bandit) reset() {
+	b.epsilon = b.base
+	b.accuracy = 0.5
+}

@@ -1,0 +1,197 @@
+package core
+
+// cst is the context-states table (§5): a direct-mapped table keyed by the
+// reduced-context hash. Each entry stores up to CSTLinks candidate deltas
+// (block granularity, one signed byte each — able to point ±8 kB at 64 B
+// blocks) with a signed score updated by the reward function. Replacement
+// within an entry is score-based: new candidates evict the lowest-scoring
+// link, which the positive rewards of recurring associations protect.
+type cst struct {
+	entries []cstEntry
+	links   int
+	bits    uint
+}
+
+// cstKey identifies a CST entry occupancy: index plus tag.
+type cstKey struct {
+	idx int
+	tag uint8
+}
+
+type cstEntry struct {
+	tag   uint8
+	valid bool
+	// trials counts predictions made from this entry (UCB's time horizon).
+	trials uint16
+	// churn counts candidate replacements since the last decay; a high
+	// churn means many distinct addresses compete for this reduced context
+	// (context overload, §4.4).
+	churn uint8
+	links []link
+}
+
+type link struct {
+	delta int8
+	score int8
+	used  bool
+}
+
+func newCST(entries, links int) *cst {
+	c := &cst{entries: make([]cstEntry, entries), links: links}
+	n := entries
+	for n > 1 {
+		n >>= 1
+		c.bits++
+	}
+	all := make([]link, entries*links)
+	for i := range c.entries {
+		c.entries[i].links = all[i*links : (i+1)*links : (i+1)*links]
+	}
+	return c
+}
+
+// key derives the table key from a reduced-context hash (19-bit value in
+// the paper: low bits index, 8-bit tag).
+func (c *cst) key(reducedHash uint64) cstKey {
+	// Mix before splitting: index from the top bits, tag from a disjoint
+	// mid-range, so weak raw hashes still spread and tag well.
+	mixed := reducedHash * 0x9e3779b97f4a7c15
+	mixed ^= mixed >> 29
+	idx := int(mixed >> (64 - c.bits))
+	tag := uint8(mixed >> 24)
+	return cstKey{idx: idx, tag: tag}
+}
+
+// lookup returns the entry for key if it is resident, without allocating.
+func (c *cst) lookup(k cstKey) *cstEntry {
+	e := &c.entries[k.idx]
+	if e.valid && e.tag == k.tag {
+		return e
+	}
+	return nil
+}
+
+// ensure returns the entry for key, (re)allocating it if a different
+// context occupies the slot. The second result reports whether the entry
+// was already resident (warm).
+func (c *cst) ensure(k cstKey) (*cstEntry, bool) {
+	e := &c.entries[k.idx]
+	if e.valid && e.tag == k.tag {
+		return e, true
+	}
+	e.tag = k.tag
+	e.valid = true
+	e.churn = 0
+	e.trials = 0
+	for i := range e.links {
+		e.links[i] = link{}
+	}
+	return e, false
+}
+
+// addCandidate records that `delta` followed this context, inserting it as
+// an exploration candidate if it is not already tracked. New candidates
+// start at score 0 and replace the lowest-scoring link — but an occupied
+// victim is only replaced when allowReplace is set (the caller passes a
+// probabilistic token), so resident candidates survive long enough for
+// their delayed rewards to arrive. Positive-scored links are never
+// evicted (score-based replacement, §5).
+func (e *cstEntry) addCandidate(delta int8, allowReplace bool) {
+	worst := 0
+	for i := range e.links {
+		l := &e.links[i]
+		if l.used && l.delta == delta {
+			return // already a candidate; scores move only via rewards
+		}
+		if !l.used {
+			worst = i
+			break
+		}
+		if e.links[i].score < e.links[worst].score {
+			worst = i
+		}
+	}
+	w := &e.links[worst]
+	if w.used && (w.score > 0 || !allowReplace) {
+		// Protected (by accumulated positive reward, or by replacement
+		// hysteresis); the candidate is dropped but the contention is
+		// recorded as churn (overload signal).
+		e.noteChurn()
+		return
+	}
+	if w.used {
+		e.noteChurn()
+	}
+	*w = link{delta: delta, score: 0, used: true}
+}
+
+// best returns the index of the highest-scoring link, or -1 if none.
+func (e *cstEntry) best() int {
+	best := -1
+	for i := range e.links {
+		if !e.links[i].used {
+			continue
+		}
+		if best < 0 || e.links[i].score > e.links[best].score {
+			best = i
+		}
+	}
+	return best
+}
+
+// candidates returns the indices of all used links.
+func (e *cstEntry) candidates(buf []int) []int {
+	buf = buf[:0]
+	for i := range e.links {
+		if e.links[i].used {
+			buf = append(buf, i)
+		}
+	}
+	return buf
+}
+
+// reward adjusts the score of the link holding delta.
+func (e *cstEntry) reward(delta int8, amount int8) {
+	for i := range e.links {
+		if e.links[i].used && e.links[i].delta == delta {
+			e.links[i].score = saturatingAdd(e.links[i].score, amount)
+			return
+		}
+	}
+}
+
+// noteTrial counts one prediction round (saturating).
+func (e *cstEntry) noteTrial() {
+	if e.trials < 65535 {
+		e.trials++
+	}
+}
+
+func (e *cstEntry) noteChurn() {
+	if e.churn < 255 {
+		e.churn++
+	}
+}
+
+// overloaded reports whether candidate contention indicates that too many
+// full contexts collapse into this reduced context. Contention alone is
+// not overload: an entry whose links are earning positive rewards is
+// converging despite the churn, and splitting it would only discard what
+// it has learned. Overload = heavy churn while nothing sticks.
+func (e *cstEntry) overloaded(threshold uint8) bool {
+	if e.churn < threshold {
+		return false
+	}
+	for i := range e.links {
+		if e.links[i].used && e.links[i].score > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// decayChurn halves the churn counter (called periodically so the overload
+// signal reflects recent behaviour).
+func (e *cstEntry) decayChurn() {
+	e.churn /= 2
+}

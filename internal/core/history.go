@@ -1,0 +1,53 @@
+package core
+
+// historyQueue is the collection unit's queue of recently observed
+// contexts (Table 2: 50 entries), waiting to be associated with impending
+// memory addresses. Each entry remembers the reduced-context key that was
+// current at that access plus the accessed block, so a later access can be
+// stored as a delta relative to it (C -N-> A, §4.2).
+type historyQueue struct {
+	entries []historyEntry
+	head    int // position of the most recent entry
+	size    int
+}
+
+type historyEntry struct {
+	key   cstKey
+	block int64 // block number of the access observed with this context
+	live  bool
+}
+
+func newHistoryQueue(depth int) *historyQueue {
+	return &historyQueue{entries: make([]historyEntry, depth)}
+}
+
+// push records the newest context.
+func (h *historyQueue) push(key cstKey, block int64) {
+	h.head = (h.head + 1) % len(h.entries)
+	h.entries[h.head] = historyEntry{key: key, block: block, live: true}
+	if h.size < len(h.entries) {
+		h.size++
+	}
+}
+
+// at returns the entry `depth` accesses in the past (0 = most recent), or
+// nil if the queue has not filled that far yet.
+func (h *historyQueue) at(depth int) *historyEntry {
+	if depth < 0 || depth >= h.size {
+		return nil
+	}
+	idx := (h.head - depth + len(h.entries)*2) % len(h.entries)
+	e := &h.entries[idx]
+	if !e.live {
+		return nil
+	}
+	return e
+}
+
+// reset clears the queue (used when simulations reset at warm-up).
+func (h *historyQueue) reset() {
+	for i := range h.entries {
+		h.entries[i] = historyEntry{}
+	}
+	h.head, h.size = 0, 0
+}

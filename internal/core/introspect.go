@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TableStats summarizes the learned state of the CST for introspection,
+// tuning and tests: how much of the table is populated, how scores are
+// distributed, and which deltas dominate.
+type TableStats struct {
+	// Entries is the number of valid CST entries holding candidates.
+	Entries int
+	// Links is the total number of resident (delta, score) links.
+	Links int
+	// PositiveLinks counts links with accumulated positive reward — the
+	// associations the prefetcher will actually dispatch.
+	PositiveLinks int
+	// SaturatedLinks counts links pinned at the score ceiling.
+	SaturatedLinks int
+	// MeanScore is the average link score.
+	MeanScore float64
+	// TopDeltas lists the most frequent link deltas, best first (at most
+	// eight), for a quick view of what was learned.
+	TopDeltas []DeltaCount
+}
+
+// DeltaCount pairs a delta with its occurrence count across the CST.
+type DeltaCount struct {
+	Delta int8
+	Count int
+}
+
+// Inspect summarizes the current CST contents.
+func (p *Prefetcher) Inspect() TableStats {
+	var st TableStats
+	var scoreSum int
+	deltas := make(map[int8]int)
+	for i := range p.table.entries {
+		e := &p.table.entries[i]
+		if !e.valid {
+			continue
+		}
+		used := 0
+		for _, l := range e.links {
+			if !l.used {
+				continue
+			}
+			used++
+			st.Links++
+			scoreSum += int(l.score)
+			if l.score > 0 {
+				st.PositiveLinks++
+			}
+			if l.score == 127 {
+				st.SaturatedLinks++
+			}
+			deltas[l.delta]++
+		}
+		if used > 0 {
+			st.Entries++
+		}
+	}
+	if st.Links > 0 {
+		st.MeanScore = float64(scoreSum) / float64(st.Links)
+	}
+	type dc struct {
+		d int8
+		c int
+	}
+	all := make([]dc, 0, len(deltas))
+	for d, c := range deltas {
+		all = append(all, dc{d, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].d < all[j].d
+	})
+	for i := 0; i < len(all) && i < 8; i++ {
+		st.TopDeltas = append(st.TopDeltas, DeltaCount{Delta: all[i].d, Count: all[i].c})
+	}
+	return st
+}
+
+// DumpCST writes up to limit non-empty CST entries with their links to w;
+// a development and tuning aid.
+func (p *Prefetcher) DumpCST(w io.Writer, limit int) {
+	n := 0
+	for i := range p.table.entries {
+		e := &p.table.entries[i]
+		if !e.valid {
+			continue
+		}
+		used := 0
+		for _, l := range e.links {
+			if l.used {
+				used++
+			}
+		}
+		if used == 0 {
+			continue
+		}
+		n++
+		if n > limit {
+			continue
+		}
+		fmt.Fprintf(w, "  entry idx=%d tag=%d churn=%d trials=%d links=", i, e.tag, e.churn, e.trials)
+		for _, l := range e.links {
+			if l.used {
+				fmt.Fprintf(w, "(%+d:%+d) ", l.delta, l.score)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  total non-empty entries: %d\n", n)
+}

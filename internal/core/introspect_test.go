@@ -1,0 +1,63 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func trainedPrefetcher(t *testing.T) *Prefetcher {
+	t.Helper()
+	p := MustNew(DefaultConfig())
+	iss := newTestIssuer()
+	blocks := []int64{100, 130, 90, 160, 75, 140, 110, 95}
+	for i := 0; i < 200*len(blocks); i++ {
+		p.OnAccess(chaseAccess(blocks, i), iss)
+	}
+	return p
+}
+
+func TestInspectTrainedState(t *testing.T) {
+	p := trainedPrefetcher(t)
+	st := p.Inspect()
+	if st.Entries == 0 || st.Links == 0 {
+		t.Fatalf("no learned state: %+v", st)
+	}
+	if st.PositiveLinks == 0 {
+		t.Error("expected positive-score links after training on a recurring chase")
+	}
+	if st.Links < st.PositiveLinks {
+		t.Error("positive links cannot exceed total links")
+	}
+	if len(st.TopDeltas) == 0 {
+		t.Error("expected top deltas")
+	}
+	if len(st.TopDeltas) > 8 {
+		t.Errorf("TopDeltas capped at 8, got %d", len(st.TopDeltas))
+	}
+	for i := 1; i < len(st.TopDeltas); i++ {
+		if st.TopDeltas[i].Count > st.TopDeltas[i-1].Count {
+			t.Error("TopDeltas not sorted by count")
+		}
+	}
+}
+
+func TestInspectEmpty(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	st := p.Inspect()
+	if st.Entries != 0 || st.Links != 0 || st.MeanScore != 0 {
+		t.Errorf("fresh prefetcher should have empty stats: %+v", st)
+	}
+}
+
+func TestDumpCST(t *testing.T) {
+	p := trainedPrefetcher(t)
+	var b strings.Builder
+	p.DumpCST(&b, 5)
+	out := b.String()
+	if !strings.Contains(out, "total non-empty entries:") {
+		t.Errorf("missing summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "links=") {
+		t.Errorf("missing entry lines:\n%s", out)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+// prefetchQueue is the feedback unit's queue (Table 2: 128 entries). Every
+// prediction — real or shadow — is pushed with the context/link that
+// produced it and the access index at which it was made. Demand accesses
+// search the queue; the depth of a hit feeds the reward function, and
+// entries that fall off the end unhit earn the expiry penalty.
+//
+// The hardware design bounds the per-cycle search and defers lookups; the
+// software model searches the whole queue, which only strengthens feedback
+// fidelity (§5 notes reward delivery may be deferred with no impact).
+type prefetchQueue struct {
+	entries []pfEntry
+	head    int // next slot to overwrite (oldest entry)
+	size    int
+}
+
+type pfEntry struct {
+	block  int64 // predicted block number
+	key    cstKey
+	delta  int8 // CST link that produced the prediction
+	index  uint64
+	issued bool // real prefetch (false = shadow)
+	hit    bool // consumed by a demand access
+	live   bool
+}
+
+func newPrefetchQueue(depth int) *prefetchQueue {
+	return &prefetchQueue{entries: make([]pfEntry, depth)}
+}
+
+// push appends a prediction, returning the expired entry it displaced (if
+// that entry was live and never hit) so the caller can apply the expiry
+// penalty.
+func (q *prefetchQueue) push(e pfEntry) (expired pfEntry, hasExpired bool) {
+	old := q.entries[q.head]
+	q.entries[q.head] = e
+	q.head = (q.head + 1) % len(q.entries)
+	if q.size < len(q.entries) {
+		q.size++
+		return pfEntry{}, false
+	}
+	if old.live && !old.hit {
+		return old, true
+	}
+	return pfEntry{}, false
+}
+
+// match invokes fn for every live, unhit entry predicting `block`, marking
+// each as hit. fn receives the entry and the depth in accesses between the
+// prediction and now.
+func (q *prefetchQueue) match(block int64, nowIndex uint64, fn func(e *pfEntry, depth int)) {
+	for i := range q.entries {
+		e := &q.entries[i]
+		if !e.live || e.hit || e.block != block {
+			continue
+		}
+		e.hit = true
+		fn(e, int(nowIndex-e.index))
+	}
+}
+
+// contains reports whether a live, unhit entry predicts block, and whether
+// any such entry was actually issued to memory.
+func (q *prefetchQueue) contains(block int64) (predicted, issued bool) {
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.live && !e.hit && e.block == block {
+			predicted = true
+			issued = issued || e.issued
+		}
+	}
+	return predicted, issued
+}
+
+// reset clears the queue.
+func (q *prefetchQueue) reset() {
+	for i := range q.entries {
+		q.entries[i] = pfEntry{}
+	}
+	q.head, q.size = 0, 0
+}

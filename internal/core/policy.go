@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PolicyKind selects the exploration/exploitation strategy used by the
+// prediction unit. The paper evaluates ε-greedy with accuracy-adaptive ε
+// and names better policies as future work ("policy improvement
+// techniques in the spirit of policy search methods", §8); Softmax and
+// UCB are the two classical contextual-bandit alternatives implemented
+// here as extensions and compared in the ablation benches.
+type PolicyKind uint8
+
+// Exploration policies.
+const (
+	// PolicyEpsilonGreedy is the paper's policy: exploit the best-scoring
+	// candidate, explore a uniformly random one with probability ε.
+	PolicyEpsilonGreedy PolicyKind = iota
+	// PolicySoftmax explores candidates with Boltzmann probabilities over
+	// their scores: badly-scored candidates are tried rarely but never
+	// abandoned, removing ε-greedy's uniform-exploration waste.
+	PolicySoftmax
+	// PolicyUCB explores the candidate with the highest upper confidence
+	// bound (score plus an uncertainty bonus shrinking with trials),
+	// trading the randomness of ε-greedy for systematic coverage.
+	PolicyUCB
+	policyKindCount
+)
+
+// String implements fmt.Stringer.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyEpsilonGreedy:
+		return "egreedy"
+	case PolicySoftmax:
+		return "softmax"
+	case PolicyUCB:
+		return "ucb"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(k))
+	}
+}
+
+// ParsePolicy converts a name to a PolicyKind.
+func ParsePolicy(name string) (PolicyKind, error) {
+	for k := PolicyKind(0); k < policyKindCount; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown policy %q", name)
+}
+
+// exploreChoice selects the exploration candidate for the current entry
+// according to the configured policy, or returns -1 when the policy
+// decides not to explore this access. cands holds link indices; the entry
+// provides their scores.
+func (b *bandit) exploreChoice(kind PolicyKind, entry *cstEntry, cands []int) int {
+	switch kind {
+	case PolicySoftmax:
+		return b.softmaxPick(entry, cands)
+	case PolicyUCB:
+		return b.ucbPick(entry, cands)
+	default:
+		if !b.explore() {
+			return -1
+		}
+		return b.pick(cands)
+	}
+}
+
+// softmaxTemperature scales score differences; scores are int8, so a
+// temperature of 24 makes a 24-point score gap an e-fold probability gap.
+const softmaxTemperature = 24.0
+
+// softmaxPick samples a candidate with Boltzmann probabilities over
+// scores. The policy still honours the adaptive ε as an overall
+// exploration gate so converged predictors stop spending shadow slots.
+func (b *bandit) softmaxPick(entry *cstEntry, cands []int) int {
+	if !b.explore() {
+		return -1
+	}
+	var sum float64
+	weights := make([]float64, len(cands))
+	for i, li := range cands {
+		w := math.Exp(float64(entry.links[li].score) / softmaxTemperature)
+		weights[i] = w
+		sum += w
+	}
+	target := b.float() * sum
+	for i, w := range weights {
+		target -= w
+		if target <= 0 {
+			return cands[i]
+		}
+	}
+	return cands[len(cands)-1]
+}
+
+// ucbPick deterministically explores the candidate with the highest
+// score-plus-uncertainty bonus. Trial counts are approximated by the
+// (saturating) magnitude of accumulated feedback: links that have seen
+// little feedback keep a large bonus.
+func (b *bandit) ucbPick(entry *cstEntry, cands []int) int {
+	best, bestV := -1, math.Inf(-1)
+	for _, li := range cands {
+		l := entry.links[li]
+		// |score| grows with feedback volume; the bonus shrinks with it.
+		trials := 1 + math.Abs(float64(l.score))
+		v := float64(l.score) + ucbC*math.Sqrt(math.Log(float64(1+entry.trials))/trials)
+		if v > bestV {
+			best, bestV = li, v
+		}
+	}
+	return best
+}
+
+// ucbC is the UCB exploration constant, scaled to the int8 score range.
+const ucbC = 12.0
+
+// float returns a uniform value in [0, 1).
+func (b *bandit) float() float64 {
+	return float64(b.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"semloc/internal/memmodel"
+)
+
+func TestPolicyKindStrings(t *testing.T) {
+	cases := map[PolicyKind]string{
+		PolicyEpsilonGreedy: "egreedy",
+		PolicySoftmax:       "softmax",
+		PolicyUCB:           "ucb",
+		PolicyKind(99):      "policy(99)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"egreedy", "softmax", "ucb"} {
+		k, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("round trip failed for %q", name)
+		}
+	}
+	if _, err := ParsePolicy("thompson"); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+}
+
+func TestConfigRejectsUnknownPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyKind(99)
+	if _, err := New(cfg); err == nil {
+		t.Error("expected validation error for unknown policy")
+	}
+}
+
+// policyEntry builds a CST entry with the given (delta, score) links.
+func policyEntry(scores ...int8) (*cstEntry, []int) {
+	c := newCST(4, len(scores))
+	e, _ := c.ensure(c.key(1))
+	for i, s := range scores {
+		e.addCandidate(int8(i+1), true)
+		e.reward(int8(i+1), s)
+	}
+	return e, e.candidates(nil)
+}
+
+func TestSoftmaxPrefersHighScores(t *testing.T) {
+	e, cands := policyEntry(40, -40)
+	e.trials = 100
+	b := newBandit(1.0, false, 7) // always explore: isolate the weighting
+	counts := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		li := b.exploreChoice(PolicySoftmax, e, cands)
+		if li < 0 {
+			t.Fatal("softmax with epsilon 1 must always pick")
+		}
+		counts[li]++
+	}
+	hi, lo := counts[cands[0]], counts[cands[1]]
+	if hi < lo*3 {
+		t.Errorf("softmax should prefer the high-score link: hi=%d lo=%d", hi, lo)
+	}
+	if lo == 0 {
+		t.Error("softmax must never fully abandon a candidate at this score gap")
+	}
+}
+
+func TestSoftmaxHonoursEpsilonGate(t *testing.T) {
+	e, cands := policyEntry(10, 20)
+	b := newBandit(0, false, 7)
+	for i := 0; i < 100; i++ {
+		if b.exploreChoice(PolicySoftmax, e, cands) >= 0 {
+			t.Fatal("epsilon 0 must suppress softmax exploration")
+		}
+	}
+}
+
+func TestUCBPrefersUntriedCandidates(t *testing.T) {
+	// An established link vs a fresh link: the fresh link's uncertainty
+	// bonus must win until it accumulates evidence.
+	e, cands := policyEntry(20, 0)
+	e.trials = 10000
+	b := newBandit(0.05, false, 7)
+	li := b.exploreChoice(PolicyUCB, e, cands)
+	if li != cands[1] {
+		t.Errorf("UCB should explore the untried candidate, picked link %d", li)
+	}
+	// Once the fresh link accumulates negative evidence, the strong link
+	// dominates.
+	e.reward(2, -120)
+	li = b.exploreChoice(PolicyUCB, e, cands)
+	if li != cands[0] {
+		t.Errorf("UCB should settle on the high-score candidate, picked %d", li)
+	}
+}
+
+func TestEpsilonGreedyChoiceDistribution(t *testing.T) {
+	e, cands := policyEntry(50, 40, 30)
+	b := newBandit(1.0, false, 11)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		li := b.exploreChoice(PolicyEpsilonGreedy, e, cands)
+		if li < 0 {
+			t.Fatal("epsilon 1 must always explore")
+		}
+		seen[li] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("ε-greedy exploration should reach all candidates, saw %d", len(seen))
+	}
+}
+
+func TestPoliciesLearnChase(t *testing.T) {
+	// Every policy must still learn the recurring chase end-to-end.
+	rng := memmodel.NewRNG(17)
+	base := int64(1 << 20)
+	blocks := make([]int64, 64)
+	cur := base
+	for i := range blocks {
+		blocks[i] = cur
+		cur += int64(rng.Intn(200) - 100)
+		if cur < base-120 {
+			cur = base
+		}
+	}
+	for _, kind := range []PolicyKind{PolicyEpsilonGreedy, PolicySoftmax, PolicyUCB} {
+		cfg := DefaultConfig()
+		cfg.Policy = kind
+		p := MustNew(cfg)
+		iss := newTestIssuer()
+		for i := 0; i < 300*len(blocks); i++ {
+			p.OnAccess(chaseAccess(blocks, i), iss)
+		}
+		m := p.Metrics()
+		if m.RealPrefetches == 0 || m.QueueHits == 0 {
+			t.Errorf("%v: no learning (real=%d hits=%d)", kind, m.RealPrefetches, m.QueueHits)
+		}
+	}
+}
+
+func TestTrialCounterSaturates(t *testing.T) {
+	e, _ := policyEntry(1)
+	e.trials = 65535
+	e.noteTrial()
+	if e.trials != 65535 {
+		t.Errorf("trials = %d, want saturated", e.trials)
+	}
+}

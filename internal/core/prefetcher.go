@@ -1,0 +1,290 @@
+package core
+
+import (
+	"semloc/internal/memmodel"
+	"semloc/internal/prefetch"
+	"semloc/internal/stats"
+)
+
+// Thresholds for the reducer's dynamic attribute control (§4.4): a CST
+// entry whose candidate churn reaches overloadChurn splits its reduced
+// context by activating an attribute; a reducer entry whose lookups miss
+// the CST coldStreakLimit times in a row merges states by deactivating
+// one.
+const (
+	overloadChurn   = 8
+	coldStreakLimit = 32
+	churnDecayEvery = 4096
+)
+
+// Metrics exposes the prefetcher's internal counters, including the
+// prefetch-queue hit-depth histogram that Figure 8 plots.
+type Metrics struct {
+	// Accesses counts observed demand accesses.
+	Accesses uint64
+	// Predictions counts queue pushes (real + shadow).
+	Predictions uint64
+	// RealPrefetches counts predictions dispatched to memory.
+	RealPrefetches uint64
+	// ShadowPrefetches counts predictions tracked without dispatching.
+	ShadowPrefetches uint64
+	// QueueHits counts demand accesses that matched a queued prediction.
+	QueueHits uint64
+	// Expired counts predictions that left the queue unhit.
+	Expired uint64
+	// Activations and Deactivations count reducer attribute changes.
+	Activations, Deactivations uint64
+	// HitDepths is the distribution of prediction-to-demand distances in
+	// accesses (real and shadow predictions alike, as in Figure 8).
+	HitDepths *stats.Histogram
+}
+
+// Prefetcher is the context-based prefetcher. It implements
+// prefetch.Prefetcher.
+type Prefetcher struct {
+	cfg     Config
+	reducer *reducer
+	table   *cst
+	history *historyQueue
+	queue   *prefetchQueue
+	policy  *bandit
+	machine machineState
+	index   uint64 // demand access counter
+	metrics Metrics
+	candBuf []int
+}
+
+var _ prefetch.Prefetcher = (*Prefetcher)(nil)
+
+// New builds a context prefetcher; the configuration must be valid.
+func New(cfg Config) (*Prefetcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Prefetcher{
+		cfg:     cfg,
+		reducer: newReducer(cfg.ReducerEntries),
+		table:   newCST(cfg.CSTEntries, cfg.CSTLinks),
+		history: newHistoryQueue(cfg.HistoryDepth),
+		queue:   newPrefetchQueue(cfg.QueueDepth),
+		policy:  newBandit(cfg.Epsilon, cfg.AdaptiveEpsilon, cfg.Seed),
+		metrics: Metrics{HitDepths: stats.NewHistogram(cfg.QueueDepth)},
+		candBuf: make([]int, 0, cfg.CSTLinks),
+	}, nil
+}
+
+// MustNew builds a context prefetcher and panics on configuration errors.
+func MustNew(cfg Config) *Prefetcher {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (*Prefetcher) Name() string { return "context" }
+
+// Metrics returns a snapshot of the internal counters.
+func (p *Prefetcher) Metrics() Metrics { return p.metrics }
+
+// Accuracy returns the policy's moving estimate of queue hit rate.
+func (p *Prefetcher) Accuracy() float64 { return p.policy.accuracy }
+
+// Epsilon returns the current exploration rate.
+func (p *Prefetcher) Epsilon() float64 { return p.policy.epsilon }
+
+// ResetMetrics clears counters (at the warm-up boundary) while keeping all
+// learned state, as hardware would.
+func (p *Prefetcher) ResetMetrics() {
+	p.metrics = Metrics{HitDepths: stats.NewHistogram(p.cfg.QueueDepth)}
+}
+
+// OnAccess implements prefetch.Prefetcher: Algorithm 1's three parallel
+// operations — feedback, data collection, prediction — executed on every
+// demand access.
+func (p *Prefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) {
+	p.metrics.Accesses++
+	block := int64(uint64(a.Addr) >> p.cfg.BlockShift)
+
+	// Context capture and two-level indexing (Figure 7).
+	v := p.machine.capture(a, p.cfg.BlockShift)
+	active := FullAttrSet
+	var red *reducerEntry
+	if !p.cfg.DisableReducer {
+		fullHash := hashContext(&v, FullAttrSet)
+		red = p.reducer.lookup(fullHash)
+		active = red.active
+	}
+	key := p.table.key(hashContext(&v, active))
+
+	// Feedback: reward every queued prediction of the current block by its
+	// depth (Figure 5), and fold the outcome into the policy.
+	p.queue.match(block, p.index, func(e *pfEntry, depth int) {
+		p.metrics.QueueHits++
+		p.metrics.HitDepths.Add(depth)
+		r := p.cfg.Reward.Reward(depth)
+		if entry := p.table.lookup(e.key); entry != nil {
+			entry.reward(e.delta, r)
+		}
+		// The policy's accuracy estimate tracks the hit rate of actual
+		// prefetches (§5); shadow training does not throttle the degree.
+		if e.issued {
+			p.policy.feedback(r > 0)
+		}
+	})
+
+	// Collection: associate one sampled older context with the current
+	// block. The paper samples a subset of the context-address pairs (§4.2)
+	// — one random predefined depth per access keeps insertion pressure on
+	// a CST entry low enough that candidates survive until their reward
+	// arrives (~an effective-window of accesses later).
+	d := p.cfg.SampleDepths[int(p.policy.next()%uint64(len(p.cfg.SampleDepths)))]
+	if h := p.history.at(d); h != nil {
+		delta := block - h.block
+		if delta != 0 && delta >= -128 && delta <= 127 {
+			entry, _ := p.table.ensure(h.key)
+			entry.addCandidate(int8(delta), p.policy.next()&3 == 0)
+		}
+	}
+
+	// Prediction: look up the current context and issue prefetches.
+	entry := p.table.lookup(key)
+	if red != nil {
+		if entry != nil {
+			red.noteWarm()
+			if entry.overloaded(overloadChurn) {
+				if red.overload() {
+					p.metrics.Activations++
+				}
+				entry.decayChurn()
+			}
+		} else {
+			red.noteCold()
+			if red.coldStreak >= coldStreakLimit {
+				if red.underload() {
+					p.metrics.Deactivations++
+				}
+			}
+		}
+	}
+	if entry != nil {
+		p.predict(entry, key, block, a, iss)
+	}
+
+	// The current context joins the history queue for future collection.
+	p.history.push(key, block)
+	p.index++
+	p.machine.update(a, p.cfg.BlockShift)
+
+	if p.index%churnDecayEvery == 0 {
+		for i := range p.table.entries {
+			p.table.entries[i].decayChurn()
+		}
+	}
+}
+
+// predict issues up to degree real prefetches from the entry's best links
+// and possibly one exploratory shadow prefetch (ε-greedy).
+func (p *Prefetcher) predict(entry *cstEntry, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer) {
+	cands := entry.candidates(p.candBuf)
+	if len(cands) == 0 {
+		return
+	}
+
+	// Exploration: a policy-selected candidate trains as a shadow
+	// operation (ε-greedy by default; softmax/UCB as extensions).
+	entry.noteTrial()
+	if !p.cfg.DisableShadow {
+		if li := p.policy.exploreChoice(p.cfg.Policy, entry, cands); li >= 0 {
+			p.enqueue(entry.links[li].delta, key, block, a, iss, false)
+		}
+	}
+
+	// Exploitation: the highest-scoring candidates, throttled by accuracy
+	// and by memory-system pressure.
+	degree := p.policy.degree(p.cfg.MaxDegree)
+	issued := 0
+	usedMask := 0
+	for issued < degree {
+		best := -1
+		for _, li := range cands {
+			if usedMask&(1<<li) != 0 {
+				continue
+			}
+			if best < 0 || entry.links[li].score > entry.links[best].score {
+				best = li
+			}
+		}
+		if best < 0 {
+			break
+		}
+		usedMask |= 1 << best
+		l := entry.links[best]
+		if l.score < p.cfg.ScoreThreshold {
+			// No candidate with positive evidence: spend no memory traffic,
+			// but keep training — a random under-threshold candidate goes
+			// into the queue as a shadow so its reward can be measured
+			// (ties would otherwise always train the same link).
+			if !p.cfg.DisableShadow {
+				li := p.policy.pick(cands)
+				p.enqueue(entry.links[li].delta, key, block, a, iss, false)
+			}
+			break
+		}
+		p.enqueue(l.delta, key, block, a, iss, true)
+		issued++
+	}
+}
+
+// enqueue pushes one prediction into the prefetch queue, dispatching it to
+// memory unless it is a shadow, a duplicate, or the MSHRs are depleted.
+// Expired queue entries displaced by the push receive the expiry penalty.
+func (p *Prefetcher) enqueue(delta int8, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer, wantReal bool) {
+	target := block + int64(delta)
+	if target < 0 {
+		return
+	}
+	addr := memmodel.Addr(uint64(target) << p.cfg.BlockShift)
+
+	real := wantReal
+	if real && iss.FreePrefetchSlots(a.Now) < p.cfg.MSHRReserve {
+		// Memory system stressed: demote to a shadow operation (§4.2).
+		real = false
+	}
+	if real {
+		if predicted, issuedBefore := p.queue.contains(target); predicted && issuedBefore {
+			// Already in flight from an earlier context: re-enqueue as a
+			// shadow to train this context-address pair too (§4.2).
+			real = false
+		}
+	}
+
+	dispatched := false
+	if real {
+		dispatched = iss.Prefetch(addr, a.Now)
+	}
+	if !dispatched {
+		iss.Shadow(addr)
+	}
+
+	p.metrics.Predictions++
+	if dispatched {
+		p.metrics.RealPrefetches++
+	} else {
+		p.metrics.ShadowPrefetches++
+	}
+	expired, has := p.queue.push(pfEntry{
+		block: target, key: key, delta: delta,
+		index: p.index, issued: dispatched, live: true,
+	})
+	if has {
+		p.metrics.Expired++
+		if entry := p.table.lookup(expired.key); entry != nil {
+			entry.reward(expired.delta, p.cfg.Reward.Expired())
+		}
+		if expired.issued {
+			p.policy.feedback(false)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+// reducer is the first-level index of §4.4/Figure 7: a direct-mapped table
+// keyed by the hash of the full context, holding per-context bitmaps of
+// the attributes that actually participate in the CST index. It performs
+// online feature selection: activating attributes splits an overloaded
+// reduced context, deactivating them merges over-fitted ones.
+type reducer struct {
+	entries []reducerEntry
+	bits    uint
+}
+
+type reducerEntry struct {
+	tag    uint8
+	active AttrSet
+	// coldStreak counts consecutive lookups whose reduced context was cold
+	// in the CST; a long streak signals over-fitting (contexts spread over
+	// too many unique states) and triggers attribute deactivation.
+	coldStreak uint8
+	valid      bool
+}
+
+func newReducer(entries int) *reducer {
+	r := &reducer{entries: make([]reducerEntry, entries)}
+	n := entries
+	for n > 1 {
+		n >>= 1
+		r.bits++
+	}
+	return r
+}
+
+// lookup returns the entry for the full-context hash, allocating it with
+// the default attribute set on first touch. The 16-bit hash value of the
+// paper maps to index bits plus a small tag (Figure 7).
+func (r *reducer) lookup(fullHash uint64) *reducerEntry {
+	mixed := fullHash * 0x9e3779b97f4a7c15
+	mixed ^= mixed >> 29
+	idx := mixed >> (64 - r.bits)
+	tag := uint8(mixed>>24) & 0x3
+	e := &r.entries[idx]
+	if !e.valid || e.tag != tag {
+		*e = reducerEntry{tag: tag, active: DefaultAttrSet, valid: true}
+	}
+	return e
+}
+
+// overload activates the first inactive attribute (in activation order),
+// splitting the reduced context (§4.4). It reports whether a change was
+// made.
+func (e *reducerEntry) overload() bool {
+	for _, id := range activationOrder {
+		if !e.active.Has(id) {
+			e.active = e.active.With(id)
+			e.coldStreak = 0
+			return true
+		}
+	}
+	return false
+}
+
+// underload deactivates the most recently activatable attribute, merging
+// context states. The default set is never reduced. It reports whether a
+// change was made.
+func (e *reducerEntry) underload() bool {
+	for i := len(activationOrder) - 1; i >= 0; i-- {
+		id := activationOrder[i]
+		if e.active.Has(id) {
+			e.active = e.active.Without(id)
+			e.coldStreak = 0
+			return true
+		}
+	}
+	return false
+}
+
+// noteCold records that the reduced context missed in the CST; a streak of
+// misses indicates overfitting.
+func (e *reducerEntry) noteCold() {
+	if e.coldStreak < 255 {
+		e.coldStreak++
+	}
+}
+
+// noteWarm records a CST hit, decaying the cold streak.
+func (e *reducerEntry) noteWarm() {
+	if e.coldStreak > 0 {
+		e.coldStreak -= 1
+	}
+}

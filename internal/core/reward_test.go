@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRewardBellShape(t *testing.T) {
+	// Shape properties are checked on the paper's own gem5-derived window.
+	r := RewardConfig{Low: 18, High: 50, Peak: 16, Penalty: 4}
+	center := r.Center()
+	if center != 34 {
+		t.Errorf("Center = %d, want 34", center)
+	}
+	if got := r.Reward(center); got != r.Peak {
+		t.Errorf("Reward(center) = %d, want peak %d", got, r.Peak)
+	}
+	// Zero (or near) at window edges.
+	if got := r.Reward(r.Low); got < 0 || got > 2 {
+		t.Errorf("Reward(Low) = %d, want ~0", got)
+	}
+	if got := r.Reward(r.High); got < 0 || got > 2 {
+		t.Errorf("Reward(High) = %d, want ~0", got)
+	}
+	// Negative outside the window.
+	if got := r.Reward(2); got >= 0 {
+		t.Errorf("Reward(2) = %d, want negative (too late to be useful)", got)
+	}
+	if got := r.Reward(120); got >= 0 {
+		t.Errorf("Reward(120) = %d, want negative (too early)", got)
+	}
+	// Clamped at -Penalty.
+	if got := r.Reward(0); got != -r.Penalty {
+		t.Errorf("Reward(0) = %d, want %d", got, -r.Penalty)
+	}
+	if r.Expired() != -r.Penalty {
+		t.Errorf("Expired = %d, want %d", r.Expired(), -r.Penalty)
+	}
+}
+
+func TestRewardMonotoneFromCenter(t *testing.T) {
+	r := RewardConfig{Low: 18, High: 50, Peak: 16, Penalty: 4}
+	c := r.Center()
+	for d := c; d < c+80; d++ {
+		if r.Reward(d+1) > r.Reward(d) {
+			t.Fatalf("reward must not increase away from center: d=%d", d)
+		}
+	}
+	for d := c; d > 0; d-- {
+		if r.Reward(d-1) > r.Reward(d) {
+			t.Fatalf("reward must not increase toward zero: d=%d", d)
+		}
+	}
+}
+
+func TestRewardFlat(t *testing.T) {
+	r := RewardConfig{Low: 18, High: 50, Peak: 16, Penalty: 4}
+	r.Flat = true
+	if r.Reward(r.Low) != r.Peak || r.Reward(r.High) != r.Peak || r.Reward(r.Center()) != r.Peak {
+		t.Error("flat reward should be Peak inside the window")
+	}
+	if r.Reward(r.Low-1) != -r.Penalty || r.Reward(r.High+1) != -r.Penalty {
+		t.Error("flat reward should be -Penalty outside the window")
+	}
+}
+
+func TestRewardValidate(t *testing.T) {
+	bad := []RewardConfig{
+		{Low: -1, High: 10, Peak: 1},
+		{Low: 10, High: 10, Peak: 1},
+		{Low: 1, High: 10, Peak: 0},
+		{Low: 1, High: 10, Peak: 1, Penalty: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+	if err := DefaultRewardConfig().Validate(); err != nil {
+		t.Errorf("default reward invalid: %v", err)
+	}
+}
+
+func TestDefaultRewardWindow(t *testing.T) {
+	// The default window keeps the paper's upper edge and extends the
+	// lower edge to cover serialized miss chains on this substrate.
+	r := DefaultRewardConfig()
+	if r.High != 50 {
+		t.Errorf("High = %d, want 50 (paper's upper edge)", r.High)
+	}
+	if r.Low >= 18 {
+		t.Errorf("Low = %d, want below the paper's 18 (see reward.go)", r.Low)
+	}
+	if r.Reward(r.Center()) != r.Peak {
+		t.Error("center must earn the peak reward")
+	}
+	if r.Reward(127) >= 0 {
+		t.Error("far-too-early predictions must be penalized")
+	}
+	if r.Reward(r.Low) < 0 {
+		t.Error("window edge must not be penalized")
+	}
+}
+
+func TestSaturatingAdd(t *testing.T) {
+	cases := []struct{ a, b, want int8 }{
+		{100, 50, 127},
+		{-100, -50, -128},
+		{10, -4, 6},
+		{127, 1, 127},
+		{-128, -1, -128},
+		{-128, 1, -127},
+	}
+	for _, c := range cases {
+		if got := saturatingAdd(c.a, c.b); got != c.want {
+			t.Errorf("saturatingAdd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSaturatingAddProperty(t *testing.T) {
+	f := func(a, b int8) bool {
+		got := int16(saturatingAdd(a, b))
+		exact := int16(a) + int16(b)
+		if exact > 127 {
+			exact = 127
+		}
+		if exact < -128 {
+			exact = -128
+		}
+		return got == exact
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrSetOps(t *testing.T) {
+	s := DefaultAttrSet
+	for _, id := range []AttrID{AttrPC, AttrTypeID, AttrLinkOffset, AttrRefForm} {
+		if !s.Has(id) {
+			t.Errorf("default set missing %v", id)
+		}
+	}
+	for _, id := range activationOrder {
+		if s.Has(id) {
+			t.Errorf("default set should not contain %v", id)
+		}
+	}
+	s2 := s.With(AttrReg)
+	if !s2.Has(AttrReg) || s.Has(AttrReg) {
+		t.Error("With should be non-mutating add")
+	}
+	if s2.Without(AttrReg) != s {
+		t.Error("Without should undo With")
+	}
+	if DefaultAttrSet.Count() != 4 {
+		t.Errorf("default count = %d", DefaultAttrSet.Count())
+	}
+	if FullAttrSet.Count() != int(NumAttrs) {
+		t.Errorf("full count = %d", FullAttrSet.Count())
+	}
+}
+
+func TestAttrStrings(t *testing.T) {
+	names := map[AttrID]string{
+		AttrPC: "pc", AttrTypeID: "type", AttrLinkOffset: "linkoff",
+		AttrRefForm: "refform", AttrBranchHist: "branchhist",
+		AttrReg: "reg", AttrLastValue: "lastvalue", AttrAddrHist: "addrhist",
+	}
+	for id, want := range names {
+		if id.String() != want {
+			t.Errorf("%d.String() = %q, want %q", id, id.String(), want)
+		}
+	}
+	if AttrID(99).String() != "attr(?)" {
+		t.Error("unknown attr string wrong")
+	}
+}
+
+func TestHashContextSensitivity(t *testing.T) {
+	var v1, v2 contextVector
+	v1[AttrPC] = 0x400
+	v2[AttrPC] = 0x404
+	if hashContext(&v1, DefaultAttrSet) == hashContext(&v2, DefaultAttrSet) {
+		t.Error("hash should differ for different PCs")
+	}
+	// Inactive attributes must not affect the hash.
+	v3 := v1
+	v3[AttrReg] = 999
+	if hashContext(&v1, DefaultAttrSet) != hashContext(&v3, DefaultAttrSet) {
+		t.Error("inactive attribute changed the hash")
+	}
+	if hashContext(&v1, FullAttrSet) == hashContext(&v3, FullAttrSet) {
+		t.Error("active attribute did not change the hash")
+	}
+}
+
+func TestReducerAllocatesDefault(t *testing.T) {
+	r := newReducer(1024)
+	e := r.lookup(0xdeadbeef)
+	if e.active != DefaultAttrSet {
+		t.Errorf("fresh reducer entry active = %v, want default", e.active)
+	}
+}
+
+func TestReducerOverloadActivatesInOrder(t *testing.T) {
+	r := newReducer(1024)
+	e := r.lookup(0x1234)
+	for i, id := range activationOrder {
+		if !e.overload() {
+			t.Fatalf("overload %d returned false", i)
+		}
+		if !e.active.Has(id) {
+			t.Fatalf("activation %d should enable %v", i, id)
+		}
+	}
+	if e.overload() {
+		t.Error("overload with all attributes active should report false")
+	}
+	if e.active != FullAttrSet {
+		t.Errorf("after all activations set = %v, want full", e.active)
+	}
+}
+
+func TestReducerUnderloadReverses(t *testing.T) {
+	r := newReducer(1024)
+	e := r.lookup(0x1234)
+	for e.overload() {
+	}
+	for i := len(activationOrder) - 1; i >= 0; i-- {
+		if !e.underload() {
+			t.Fatalf("underload at %d returned false", i)
+		}
+		if e.active.Has(activationOrder[i]) {
+			t.Fatalf("underload should deactivate %v", activationOrder[i])
+		}
+	}
+	if e.underload() {
+		t.Error("underload below default set should report false")
+	}
+	if e.active != DefaultAttrSet {
+		t.Errorf("set = %v, want default", e.active)
+	}
+}
+
+func TestReducerStreaks(t *testing.T) {
+	r := newReducer(64)
+	e := r.lookup(1)
+	for i := 0; i < 300; i++ {
+		e.noteCold()
+	}
+	if e.coldStreak != 255 {
+		t.Errorf("coldStreak = %d, want saturated 255", e.coldStreak)
+	}
+	e.noteWarm()
+	if e.coldStreak != 254 {
+		t.Errorf("noteWarm should decay streak, got %d", e.coldStreak)
+	}
+}
+
+func TestReducerConflictReallocates(t *testing.T) {
+	r := newReducer(4) // tiny: conflicts guaranteed
+	e1 := r.lookup(0x1)
+	e1.active = FullAttrSet
+	// A colliding hash with a different tag evicts the entry.
+	var found bool
+	for h := uint64(2); h < 10000; h++ {
+		e2 := r.lookup(h)
+		if e2 == e1 && e2.active == DefaultAttrSet {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("expected some conflicting lookup to reallocate an entry")
+	}
+}
+
+func TestCSTEnsureAndLookup(t *testing.T) {
+	c := newCST(64, 4)
+	k := c.key(0x123456789)
+	if c.lookup(k) != nil {
+		t.Error("lookup before ensure should be nil")
+	}
+	e, warm := c.ensure(k)
+	if warm {
+		t.Error("first ensure should be cold")
+	}
+	if c.lookup(k) != e {
+		t.Error("lookup after ensure should find the entry")
+	}
+	if _, warm := c.ensure(k); !warm {
+		t.Error("second ensure should be warm")
+	}
+}
+
+func TestCSTCandidateInsertReplace(t *testing.T) {
+	c := newCST(16, 2)
+	e, _ := c.ensure(c.key(1))
+	e.addCandidate(5, true)
+	e.addCandidate(7, true)
+	if got := len(e.candidates(nil)); got != 2 {
+		t.Fatalf("candidates = %d, want 2", got)
+	}
+	// Duplicate is a no-op.
+	e.addCandidate(5, true)
+	if got := len(e.candidates(nil)); got != 2 {
+		t.Errorf("duplicate insert changed count: %d", got)
+	}
+	// A new candidate replaces a zero-score link and bumps churn.
+	e.addCandidate(9, true)
+	found9 := false
+	for _, li := range e.candidates(nil) {
+		if e.links[li].delta == 9 {
+			found9 = true
+		}
+	}
+	if !found9 {
+		t.Error("new candidate not inserted over zero-score link")
+	}
+	if e.churn == 0 {
+		t.Error("replacement should record churn")
+	}
+}
+
+func TestCSTPositiveScoreProtected(t *testing.T) {
+	c := newCST(16, 2)
+	e, _ := c.ensure(c.key(1))
+	e.addCandidate(5, true)
+	e.addCandidate(7, true)
+	e.reward(5, 10)
+	e.reward(7, 10)
+	e.addCandidate(9, true)
+	for _, li := range e.candidates(nil) {
+		if e.links[li].delta == 9 {
+			t.Error("candidate with positive-score victims should be dropped")
+		}
+	}
+	if e.churn == 0 {
+		t.Error("dropped candidate should still record churn (overload signal)")
+	}
+}
+
+func TestCSTBestAndReward(t *testing.T) {
+	c := newCST(16, 4)
+	e, _ := c.ensure(c.key(1))
+	if e.best() != -1 {
+		t.Error("best of empty entry should be -1")
+	}
+	e.addCandidate(3, true)
+	e.addCandidate(-20, true)
+	e.reward(-20, 50)
+	best := e.best()
+	if best < 0 || e.links[best].delta != -20 {
+		t.Errorf("best should be the rewarded link")
+	}
+	e.reward(-20, -100)
+	best = e.best()
+	if e.links[best].delta != 3 {
+		t.Errorf("after demotion best should change, got delta %d", e.links[best].delta)
+	}
+	// Reward for an unknown delta is a no-op.
+	e.reward(99, 100)
+}
+
+func TestCSTChurnDecay(t *testing.T) {
+	c := newCST(16, 1)
+	e, _ := c.ensure(c.key(1))
+	for i := 0; i < 20; i++ {
+		e.noteChurn()
+	}
+	if !e.overloaded(8) {
+		t.Error("entry should report overload")
+	}
+	e.decayChurn()
+	if e.churn != 10 {
+		t.Errorf("decayed churn = %d, want 10", e.churn)
+	}
+}
+
+func TestCSTReallocationClearsLinks(t *testing.T) {
+	c := newCST(1, 2) // single entry: any two keys with different tags conflict
+	k1 := c.key(1)
+	e, _ := c.ensure(k1)
+	e.addCandidate(5, true)
+	var k2 cstKey
+	for h := uint64(2); ; h++ {
+		k2 = c.key(h)
+		if k2.tag != k1.tag {
+			break
+		}
+	}
+	e2, warm := c.ensure(k2)
+	if warm {
+		t.Error("conflicting ensure should be cold")
+	}
+	if len(e2.candidates(nil)) != 0 {
+		t.Error("reallocated entry should have no candidates")
+	}
+	if c.lookup(k1) != nil {
+		t.Error("evicted context should no longer be resident")
+	}
+}
+
+func TestCSTKeyDistribution(t *testing.T) {
+	c := newCST(2048, 4)
+	seen := make(map[int]bool)
+	// Aligned hash inputs (like PCs) must spread across the table.
+	for i := uint64(0); i < 512; i++ {
+		seen[c.key(i<<10).idx] = true
+	}
+	if len(seen) < 300 {
+		t.Errorf("aligned keys hit only %d/512 distinct slots", len(seen))
+	}
+}
+
+func TestHistoryQueue(t *testing.T) {
+	h := newHistoryQueue(4)
+	if h.at(0) != nil {
+		t.Error("empty queue should return nil")
+	}
+	for i := 0; i < 3; i++ {
+		h.push(cstKey{idx: i}, int64(100+i))
+	}
+	if e := h.at(0); e == nil || e.block != 102 {
+		t.Errorf("at(0) = %+v, want block 102", e)
+	}
+	if e := h.at(2); e == nil || e.block != 100 {
+		t.Errorf("at(2) = %+v, want block 100", e)
+	}
+	if h.at(3) != nil {
+		t.Error("at(3) beyond size should be nil")
+	}
+	// Wrap-around.
+	h.push(cstKey{idx: 3}, 103)
+	h.push(cstKey{idx: 4}, 104)
+	if e := h.at(3); e == nil || e.block != 101 {
+		t.Errorf("after wrap at(3) = %+v, want block 101", e)
+	}
+	if h.at(4) != nil {
+		t.Error("at(4) beyond depth should be nil")
+	}
+	h.reset()
+	if h.at(0) != nil {
+		t.Error("reset should clear entries")
+	}
+}
+
+func TestHistoryQueueProperty(t *testing.T) {
+	h := newHistoryQueue(8)
+	var pushed []int64
+	f := func(b int64) bool {
+		h.push(cstKey{}, b)
+		pushed = append(pushed, b)
+		for d := 0; d < 8 && d < len(pushed); d++ {
+			e := h.at(d)
+			if e == nil || e.block != pushed[len(pushed)-1-d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefetchQueueMatchAndDepth(t *testing.T) {
+	q := newPrefetchQueue(8)
+	q.push(pfEntry{block: 42, index: 10, issued: true, live: true})
+	var gotDepth int
+	matches := 0
+	q.match(42, 35, func(e *pfEntry, depth int) {
+		matches++
+		gotDepth = depth
+	})
+	if matches != 1 || gotDepth != 25 {
+		t.Errorf("matches=%d depth=%d, want 1/25", matches, gotDepth)
+	}
+	// Entry is consumed: a second match finds nothing.
+	q.match(42, 36, func(*pfEntry, int) { t.Error("hit entry matched again") })
+}
+
+func TestPrefetchQueueExpiry(t *testing.T) {
+	q := newPrefetchQueue(2)
+	q.push(pfEntry{block: 1, live: true})
+	q.push(pfEntry{block: 2, live: true})
+	exp, has := q.push(pfEntry{block: 3, live: true})
+	if !has || exp.block != 1 {
+		t.Errorf("expected block 1 to expire, got %+v/%v", exp, has)
+	}
+	// Hit entries do not expire as failures.
+	q.match(2, 0, func(*pfEntry, int) {})
+	if _, has := q.push(pfEntry{block: 4, live: true}); has {
+		t.Error("hit entry must not be reported as expired")
+	}
+}
+
+func TestPrefetchQueueContains(t *testing.T) {
+	q := newPrefetchQueue(4)
+	q.push(pfEntry{block: 9, issued: false, live: true})
+	pred, issued := q.contains(9)
+	if !pred || issued {
+		t.Errorf("contains(9) = %v/%v, want predicted unissued", pred, issued)
+	}
+	q.push(pfEntry{block: 9, issued: true, live: true})
+	if _, issued := q.contains(9); !issued {
+		t.Error("issued duplicate should report issued")
+	}
+	if pred, _ := q.contains(1); pred {
+		t.Error("contains of absent block should be false")
+	}
+}
+
+func TestBanditAdaptiveEpsilon(t *testing.T) {
+	b := newBandit(0.1, true, 7)
+	for i := 0; i < 5000; i++ {
+		b.feedback(true)
+	}
+	if b.epsilon >= 0.1*0.5 {
+		t.Errorf("epsilon = %v should shrink after sustained accuracy", b.epsilon)
+	}
+	lowEps := b.epsilon
+	for i := 0; i < 5000; i++ {
+		b.feedback(false)
+	}
+	if b.epsilon <= lowEps {
+		t.Error("epsilon should recover when accuracy collapses")
+	}
+}
+
+func TestBanditFixedEpsilon(t *testing.T) {
+	b := newBandit(0.1, false, 7)
+	for i := 0; i < 1000; i++ {
+		b.feedback(true)
+	}
+	if b.epsilon != 0.1 {
+		t.Errorf("fixed epsilon changed to %v", b.epsilon)
+	}
+}
+
+func TestBanditExploreRate(t *testing.T) {
+	b := newBandit(0.25, false, 11)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if b.explore() {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(n)
+	if rate < 0.22 || rate > 0.28 {
+		t.Errorf("explore rate = %v, want ~0.25", rate)
+	}
+	zero := newBandit(0, false, 3)
+	for i := 0; i < 100; i++ {
+		if zero.explore() {
+			t.Fatal("epsilon 0 must never explore")
+		}
+	}
+}
+
+func TestBanditDegree(t *testing.T) {
+	b := newBandit(0.1, true, 5)
+	for i := 0; i < 5000; i++ {
+		b.feedback(false)
+	}
+	if d := b.degree(4); d != 1 {
+		t.Errorf("degree at zero accuracy = %d, want 1", d)
+	}
+	for i := 0; i < 5000; i++ {
+		b.feedback(true)
+	}
+	if d := b.degree(4); d != 4 {
+		t.Errorf("degree at full accuracy = %d, want 4", d)
+	}
+}
+
+func TestBanditPick(t *testing.T) {
+	b := newBandit(0.5, false, 13)
+	xs := []int{3, 5, 9}
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		counts[b.pick(xs)]++
+	}
+	for _, x := range xs {
+		if counts[x] < 700 {
+			t.Errorf("pick(%d) count %d too low", x, counts[x])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment struct {
+	// ID is the artifact identifier ("table2", "fig12", ...).
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Run executes the experiment and writes its rows/series to w.
+	Run func(r *Runner, w io.Writer) error
+}
+
+// Experiments lists all experiments in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table2", Title: "Table 2: simulator parameters", Run: RunTable2},
+		{ID: "table3", Title: "Table 3: workloads and benchmarks", Run: RunTable3},
+		{ID: "fig1", Title: "Figure 1: memory accesses for list insertion sort", Run: RunFig1},
+		{ID: "fig5", Title: "Figure 5: reward function", Run: RunFig5},
+		{ID: "fig8", Title: "Figure 8: cumulative distribution of hit depths", Run: RunFig8},
+		{ID: "fig9", Title: "Figure 9: accuracy and timeliness categories", Run: RunFig9},
+		{ID: "fig10", Title: "Figure 10: L1 misses per kilo-instruction", Run: RunFig10},
+		{ID: "fig11", Title: "Figure 11: L2 misses per kilo-instruction", Run: RunFig11},
+		{ID: "fig12", Title: "Figure 12: speedups over no prefetching", Run: RunFig12},
+		{ID: "fig13", Title: "Figure 13: impact of CST size on speedup", Run: RunFig13},
+		{ID: "fig14", Title: "Figure 14: naive vs spatially optimized layouts", Run: RunFig14},
+		{ID: "limit", Title: "Limit study (extension): fraction of oracle benefit captured", Run: RunLimit},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// IDs lists experiment identifiers in paper order.
+func IDs() []string {
+	es := Experiments()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// sortedKeys returns map keys in sorted order (stable table output).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"semloc/internal/stats"
+)
+
+// RunFig14 regenerates Figure 14: cycles-per-instruction of naive (linked)
+// and spatially optimized (array/CSR) implementations of SSCA2 and
+// Graph500, under every prefetcher. The paper's claim: only the context
+// prefetcher lets the naive layout approach the optimized one.
+func RunFig14(r *Runner, w io.Writer) error {
+	pairs := []struct {
+		title     string
+		csr, list string
+	}{
+		{"a) SSCA2", "ssca2-csr", "ssca2-list"},
+		{"b) Graph500", "graph500", "graph500-list"},
+	}
+	for _, p := range pairs {
+		tb := stats.NewTable("Figure 14 "+p.title+" — CPI by layout and prefetcher", "prefetcher", "CSR/array CPI", "linked CPI", "linked/CSR ratio")
+		var bestLinked, noneLinked float64
+		var bestLinkedName string
+		for _, pn := range FigurePrefetchers {
+			csr, err := r.Result(p.csr, pn)
+			if err != nil {
+				return err
+			}
+			lst, err := r.Result(p.list, pn)
+			if err != nil {
+				return err
+			}
+			linked := lst.CPU.CPI()
+			tb.AddRow(pn, csr.CPU.CPI(), linked, linked/csr.CPU.CPI())
+			if pn == "none" {
+				noneLinked = linked
+			}
+			if bestLinkedName == "" || linked < bestLinked {
+				bestLinked, bestLinkedName = linked, pn
+			}
+		}
+		tb.Render(w)
+		fmt.Fprintf(w, "best naive-implementation CPI: %s (%.2f, %.0f%% faster than no prefetching)\n\n",
+			bestLinkedName, bestLinked, 100*(noneLinked/bestLinked-1))
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"semloc/internal/core"
+	"semloc/internal/stats"
+)
+
+// fig8Micro is the µbenchmark set of Figure 8 (top plot).
+var fig8Micro = []string{"array", "list", "listsort", "bst", "hashtest", "maptest", "prim", "ssca_lds", "graph500-list"}
+
+// fig8Regular is the regular-benchmark subset (bottom plot).
+var fig8Regular = []string{"libquantum", "lbm", "milc", "hmmer", "sphinx3", "h264ref"}
+
+// RunFig8 regenerates Figure 8: the cumulative distribution of prefetch
+// hit depths for the context prefetcher — the number of accesses between
+// a (real or shadow) prediction entering the prefetch queue and the demand
+// access that consumed it. The paper expects a visible step where the
+// reward function's positive region begins.
+func RunFig8(r *Runner, w io.Writer) error {
+	if err := fig8Set(r, w, "Figure 8 (top): microbenchmarks", fig8Micro); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return fig8Set(r, w, "Figure 8 (bottom): regular benchmarks", fig8Regular)
+}
+
+func fig8Set(r *Runner, w io.Writer, title string, names []string) error {
+	reward := core.DefaultRewardConfig()
+	headers := append([]string{"depth"}, names...)
+	cells := make([]interface{}, len(headers))
+	tb := stats.NewTable(title+" — CDF of hit depths (context prefetcher)", headers...)
+	cdfs := make(map[string][]float64, len(names))
+	for _, n := range names {
+		res, err := r.Result(n, "context")
+		if err != nil {
+			return err
+		}
+		cdfs[n] = res.HitDepths.CDF()
+	}
+	for d := 0; d <= 128; d += 4 {
+		cells[0] = d
+		for i, n := range names {
+			cdf := cdfs[n]
+			v := 1.0
+			if d < len(cdf) {
+				v = cdf[d]
+			}
+			cells[i+1] = v
+		}
+		tb.AddRow(cells...)
+	}
+	tb.Render(w)
+	fmt.Fprintf(w, "reward window: positive region [%d, %d], centre %d\n", reward.Low, reward.High, reward.Center())
+	return nil
+}

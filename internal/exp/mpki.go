@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"semloc/internal/sim"
+	"semloc/internal/stats"
+)
+
+// RunFig10 regenerates Figure 10: L1 misses per kilo-instruction for every
+// prefetcher, showing (as the paper does) the memory-intensive workloads
+// with baseline L1 MPKI > 5, plus the average over all workloads.
+func RunFig10(r *Runner, w io.Writer) error {
+	return runMPKI(r, w, "Figure 10: L1 MPKI", 5,
+		func(res *sim.Result) float64 { return res.L1MPKI() })
+}
+
+// RunFig11 regenerates Figure 11: L2 misses per kilo-instruction, showing
+// workloads with baseline L2 MPKI > 1 plus the average over all workloads.
+func RunFig11(r *Runner, w io.Writer) error {
+	return runMPKI(r, w, "Figure 11: L2 MPKI", 1,
+		func(res *sim.Result) float64 { return res.L2MPKI() })
+}
+
+func runMPKI(r *Runner, w io.Writer, title string, minBaseline float64, metric func(*sim.Result) float64) error {
+	headers := append([]string{"workload"}, FigurePrefetchers...)
+	tb := stats.NewTable(title, headers...)
+	sums := make(map[string]float64, len(FigurePrefetchers))
+	count := 0
+	for _, wl := range AllWorkloads() {
+		results, err := r.ResultsFor(wl, FigurePrefetchers)
+		if err != nil {
+			return err
+		}
+		count++
+		for _, pn := range FigurePrefetchers {
+			sums[pn] += metric(results[pn])
+		}
+		if metric(results["none"]) <= minBaseline {
+			continue // the paper plots only memory-intensive workloads
+		}
+		cells := make([]interface{}, len(headers))
+		cells[0] = wl
+		for i, pn := range FigurePrefetchers {
+			cells[i+1] = metric(results[pn])
+		}
+		tb.AddRow(cells...)
+	}
+	cells := make([]interface{}, len(headers))
+	cells[0] = "AVERAGE (all)"
+	for i, pn := range FigurePrefetchers {
+		cells[i+1] = sums[pn] / float64(count)
+	}
+	tb.AddRow(cells...)
+	tb.Render(w)
+
+	base := sums["none"] / float64(count)
+	ctx := sums["context"] / float64(count)
+	if ctx > 0 {
+		fmt.Fprintf(w, "context prefetcher reduces the average by %.2fx vs no prefetching\n", base/ctx)
+	}
+	if sms := sums["sms"] / float64(count); sms > 0 && ctx > 0 {
+		fmt.Fprintf(w, "context vs SMS average ratio: %.2fx\n", sms/ctx)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Package exp defines the experiment harness: prefetcher construction,
+// per-figure experiment runners, and the output formatting that mirrors
+// the paper's tables and figures.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"semloc/internal/core"
+	"semloc/internal/prefetch"
+)
+
+// PrefetcherNames lists the evaluated prefetchers in the paper's plotting
+// order: the no-prefetch baseline, the spatio-temporal competitors, and
+// the context prefetcher.
+var PrefetcherNames = []string{"none", "stride", "ghb-gdc", "ghb-pcdc", "sms", "markov", "context"}
+
+// FigurePrefetchers is the subset shown in the paper's figures (the stride
+// prefetcher is evaluated but omitted from plots, §7; markov is this
+// repo's extra temporal baseline).
+var FigurePrefetchers = []string{"none", "ghb-gdc", "ghb-pcdc", "sms", "context"}
+
+// NewPrefetcher builds a fresh prefetcher by name with its default (Table
+// 2 scaled) configuration. Prefetchers are stateful: every simulation run
+// needs a new instance.
+func NewPrefetcher(name string) (prefetch.Prefetcher, error) {
+	return NewPrefetcherWith(name, nil)
+}
+
+// NewPrefetcherWith builds a prefetcher by name, applying the context
+// prefetcher overrides of fc (when non-nil) to the "context*" variants.
+func NewPrefetcherWith(name string, fc *FileConfig) (prefetch.Prefetcher, error) {
+	switch name {
+	case "none":
+		return prefetch.NewNone(), nil
+	case "stride":
+		return prefetch.NewStride(prefetch.StrideConfig{}), nil
+	case "ghb-gdc":
+		return prefetch.NewGHB(prefetch.GHBConfig{Localization: prefetch.LocalizeGlobal}), nil
+	case "ghb-pcdc":
+		return prefetch.NewGHB(prefetch.GHBConfig{Localization: prefetch.LocalizePC}), nil
+	case "sms":
+		return prefetch.NewSMS(prefetch.SMSConfig{}), nil
+	case "markov":
+		return prefetch.NewMarkov(prefetch.MarkovConfig{}), nil
+	case "context":
+		return core.New(fc.ContextConfig())
+	case "context-softmax", "context-ucb":
+		cfg := fc.ContextConfig()
+		var err error
+		cfg.Policy, err = core.ParsePolicy(strings.TrimPrefix(name, "context-"))
+		if err != nil {
+			return nil, err
+		}
+		return core.New(cfg)
+	default:
+		return nil, fmt.Errorf("exp: unknown prefetcher %q", name)
+	}
+}
+
+// NewContext builds a context prefetcher with a custom configuration
+// (used by the storage sweep and the ablation benches).
+func NewContext(cfg core.Config) (prefetch.Prefetcher, error) {
+	return core.New(cfg)
+}

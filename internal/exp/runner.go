@@ -1,0 +1,227 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"semloc/internal/prefetch"
+	"semloc/internal/sim"
+	"semloc/internal/trace"
+	"semloc/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale is the workload scale factor (1 = standard size).
+	Scale float64
+	// Seed drives the workload generators.
+	Seed uint64
+	// Sim is the machine configuration (defaults to Table 2).
+	Sim sim.Config
+	// Parallelism bounds concurrent simulations (defaults to GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultOptions returns the standard experiment setup.
+func DefaultOptions() Options {
+	return Options{Scale: 1, Seed: 1, Sim: sim.DefaultConfig()}
+}
+
+// Runner runs (workload, prefetcher) simulations, memoizing both generated
+// traces and results so different figures share work.
+type Runner struct {
+	opts Options
+
+	mu      sync.Mutex
+	traces  map[string]*trace.Trace
+	results map[string]*sim.Result
+	errs    map[string]error
+	inFly   map[string]*sync.WaitGroup
+	sem     chan struct{}
+}
+
+// NewRunner creates a runner.
+func NewRunner(opts Options) *Runner {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Sim.CPU.Width == 0 {
+		opts.Sim = sim.DefaultConfig()
+	}
+	p := opts.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		opts:    opts,
+		traces:  make(map[string]*trace.Trace),
+		results: make(map[string]*sim.Result),
+		errs:    make(map[string]error),
+		inFly:   make(map[string]*sync.WaitGroup),
+		sem:     make(chan struct{}, p),
+	}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Trace returns the (cached) generated trace for a workload.
+func (r *Runner) Trace(workload string) (*trace.Trace, error) {
+	r.mu.Lock()
+	if tr, ok := r.traces[workload]; ok {
+		r.mu.Unlock()
+		return tr, nil
+	}
+	r.mu.Unlock()
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	tr := w.Generate(workloads.GenConfig{Scale: r.opts.Scale, Seed: r.opts.Seed})
+	r.mu.Lock()
+	// Another goroutine may have generated it meanwhile; keep the first.
+	if existing, ok := r.traces[workload]; ok {
+		tr = existing
+	} else {
+		r.traces[workload] = tr
+	}
+	r.mu.Unlock()
+	return tr, nil
+}
+
+// Result runs (or returns the cached result of) workload under prefetcher.
+func (r *Runner) Result(workload, prefetcher string) (*sim.Result, error) {
+	key := workload + "|" + prefetcher
+
+	r.mu.Lock()
+	for {
+		if res, ok := r.results[key]; ok {
+			r.mu.Unlock()
+			return res, nil
+		}
+		if err, ok := r.errs[key]; ok {
+			r.mu.Unlock()
+			return nil, err
+		}
+		wg, running := r.inFly[key]
+		if !running {
+			break
+		}
+		r.mu.Unlock()
+		wg.Wait()
+		r.mu.Lock()
+	}
+	wg := &sync.WaitGroup{}
+	wg.Add(1)
+	r.inFly[key] = wg
+	r.mu.Unlock()
+
+	res, err := r.run(workload, prefetcher)
+
+	r.mu.Lock()
+	if err != nil {
+		r.errs[key] = err
+	} else {
+		r.results[key] = res
+	}
+	delete(r.inFly, key)
+	r.mu.Unlock()
+	wg.Done()
+	return res, err
+}
+
+func (r *Runner) run(workload, prefetcher string) (*sim.Result, error) {
+	tr, err := r.Trace(workload)
+	if err != nil {
+		return nil, err
+	}
+	var pf prefetch.Prefetcher
+	if prefetcher == "oracle" {
+		// The limit-study oracle needs the trace itself.
+		pf = prefetch.NewOracle(tr, 0)
+	} else {
+		pf, err = NewPrefetcher(prefetcher)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	res, err := sim.Run(tr, pf, r.opts.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%s: %w", workload, prefetcher, err)
+	}
+	return res, nil
+}
+
+// ResultsFor runs every listed prefetcher on the workload concurrently and
+// returns results indexed by prefetcher name.
+func (r *Runner) ResultsFor(workload string, prefetchers []string) (map[string]*sim.Result, error) {
+	out := make(map[string]*sim.Result, len(prefetchers))
+	errCh := make(chan error, len(prefetchers))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, pn := range prefetchers {
+		pn := pn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.Result(workload, pn)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			mu.Lock()
+			out[pn] = res
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Speedup returns the IPC ratio of prefetcher over the no-prefetch
+// baseline for the workload.
+func (r *Runner) Speedup(workload, prefetcher string) (float64, error) {
+	base, err := r.Result(workload, "none")
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.Result(workload, prefetcher)
+	if err != nil {
+		return 0, err
+	}
+	if base.IPC() == 0 {
+		return 0, fmt.Errorf("exp: %s baseline IPC is zero", workload)
+	}
+	return res.IPC() / base.IPC(), nil
+}
+
+// AllWorkloads lists every Table 3 workload name.
+func AllWorkloads() []string { return workloads.Names() }
+
+// SPECWorkloads lists the SPEC2006 subset.
+func SPECWorkloads() []string {
+	var out []string
+	for _, w := range workloads.Suite("spec2006") {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// MicroWorkloads lists the µbenchmark subset.
+func MicroWorkloads() []string {
+	var out []string
+	for _, w := range workloads.Suite("micro") {
+		out = append(out, w.Name)
+	}
+	return out
+}

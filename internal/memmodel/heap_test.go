@@ -1,0 +1,183 @@
+package memmodel
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapDefaults(t *testing.T) {
+	h := NewHeap(HeapConfig{})
+	a := h.Alloc(64)
+	if a < DefaultHeapConfig().Base {
+		t.Errorf("allocation %v below heap base", a)
+	}
+	if a%16 != 0 {
+		t.Errorf("allocation %v not 16-aligned", a)
+	}
+}
+
+func TestHeapBumpIsContiguous(t *testing.T) {
+	h := NewHeap(HeapConfig{Fragmentation: 0})
+	prev := h.Alloc(32)
+	for i := 0; i < 100; i++ {
+		cur := h.Alloc(32)
+		if cur != prev+32 {
+			t.Fatalf("bump allocation not contiguous: prev=%v cur=%v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestHeapArrayContiguous(t *testing.T) {
+	h := NewHeap(HeapConfig{Fragmentation: 0.9})
+	base := h.AllocArray(1000, 8)
+	// The whole array must be in one arena: size 8000 < arena size.
+	end := base + 8000
+	cfg := DefaultHeapConfig()
+	arenaOf := func(a Addr) uint64 { return uint64(a-cfg.Base) / cfg.ArenaSize }
+	if arenaOf(base) != arenaOf(end-1) {
+		t.Errorf("array spans arenas: base %v end %v", base, end)
+	}
+}
+
+func TestHeapFragmentationScatters(t *testing.T) {
+	h := NewHeap(HeapConfig{Fragmentation: 0.9, Seed: 7})
+	var nonAdjacent int
+	prev := h.Alloc(32)
+	const n = 200
+	for i := 0; i < n; i++ {
+		cur := h.Alloc(32)
+		if cur != prev+32 {
+			nonAdjacent++
+		}
+		prev = cur
+	}
+	if nonAdjacent < n/2 {
+		t.Errorf("expected heavy scatter, only %d/%d non-adjacent", nonAdjacent, n)
+	}
+}
+
+func TestHeapNoOverlap(t *testing.T) {
+	type span struct{ base, end Addr }
+	h := NewHeap(HeapConfig{Fragmentation: 0.7, Seed: 3})
+	rng := NewRNG(5)
+	var spans []span
+	for i := 0; i < 2000; i++ {
+		sz := uint64(1 + rng.Intn(256))
+		base := h.Alloc(sz)
+		spans = append(spans, span{base, base + Addr(sz)})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].base < spans[j].base })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].base < spans[i-1].end {
+			t.Fatalf("overlap: [%v,%v) and [%v,%v)", spans[i-1].base, spans[i-1].end, spans[i].base, spans[i].end)
+		}
+	}
+}
+
+func TestHeapZeroSize(t *testing.T) {
+	h := NewHeap(HeapConfig{})
+	a := h.Alloc(0)
+	b := h.Alloc(0)
+	if a == b {
+		t.Errorf("zero-size allocations share address %v", a)
+	}
+}
+
+func TestHeapDeterminism(t *testing.T) {
+	mk := func() []Addr {
+		h := NewHeap(HeapConfig{Fragmentation: 0.5, Seed: 42})
+		var out []Addr
+		for i := 0; i < 500; i++ {
+			out = append(out, h.Alloc(48))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("allocation %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHeapExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on heap exhaustion")
+		}
+	}()
+	h := NewHeap(HeapConfig{ArenaSize: 4096, Arenas: 2})
+	for i := 0; i < 100; i++ {
+		h.Alloc(1024)
+	}
+}
+
+func TestHeapAllocatedAccounting(t *testing.T) {
+	h := NewHeap(HeapConfig{})
+	h.Alloc(100)
+	h.Alloc(28)
+	if got := h.Allocated(); got != 128 {
+		t.Errorf("Allocated = %d, want 128", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(9), NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(11)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(13)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero-seeded RNG appears degenerate")
+	}
+}

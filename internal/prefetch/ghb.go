@@ -1,0 +1,206 @@
+package prefetch
+
+import (
+	"semloc/internal/memmodel"
+)
+
+// GHB implements the global history buffer prefetcher of Nesbit & Smith
+// (HPCA 2004) with delta correlation, in both localizations the paper
+// compares against (§7):
+//
+//   - G/DC  (global, delta correlation): one global stream of miss
+//     addresses; the last two deltas form the correlation key.
+//   - PC/DC (per-PC, delta correlation): the history buffer is localized
+//     into per-PC streams through the index table.
+//
+// The history buffer is a circular buffer of the most recent miss
+// addresses; entries of one stream are chained by buffer index. On each
+// access the prefetcher walks its stream's recent deltas, searches for the
+// previous occurrence of the current delta pair, and prefetches the deltas
+// that followed it.
+//
+// Table 2 scaling: 2K-entry GHB, history (correlation) length 3, prefetch
+// degree 3, ~32 kB total.
+type GHB struct {
+	cfg GHBConfig
+
+	buf  []ghbEntry
+	head int   // next write position
+	gen  []int // generation stamp: buffer write count at entry
+	tick int
+
+	index []ghbIndex
+	ibits uint
+}
+
+// GHBLocalization selects the stream localization.
+type GHBLocalization uint8
+
+// Localizations.
+const (
+	// LocalizeGlobal keys the single global access stream (G/DC).
+	LocalizeGlobal GHBLocalization = iota
+	// LocalizePC localizes streams by load PC (PC/DC).
+	LocalizePC
+)
+
+// GHBConfig parameterizes a GHB prefetcher.
+type GHBConfig struct {
+	// Localization picks G/DC or PC/DC.
+	Localization GHBLocalization
+	// BufferSize is the circular history buffer size (Table 2: 2K).
+	BufferSize int
+	// IndexSize is the index table size (power of two).
+	IndexSize int
+	// HistoryLength is the number of trailing deltas correlated (Table 2: 3;
+	// the delta-pair key uses the last two, matching two-delta correlation).
+	HistoryLength int
+	// Degree is the number of prefetches issued per match (Table 2: 3).
+	Degree int
+	// TrainOnHits extends training to all accesses; by default the GHB
+	// observes only L1 misses, the classic trigger.
+	TrainOnHits bool
+}
+
+// DefaultGHBConfig returns the Table 2 configuration for the given flavour.
+func DefaultGHBConfig(loc GHBLocalization) GHBConfig {
+	return GHBConfig{
+		Localization:  loc,
+		BufferSize:    2048,
+		IndexSize:     1024,
+		HistoryLength: 3,
+		Degree:        3,
+	}
+}
+
+type ghbEntry struct {
+	line memmodel.Line
+	prev int // buffer index of previous entry in same stream (-1 none)
+	gen  int // tick at which prev was written (validity check)
+}
+
+type ghbIndex struct {
+	key   uint64
+	last  int // buffer index of stream head
+	gen   int
+	valid bool
+}
+
+// NewGHB creates a GHB prefetcher. Zero-value config fields default to the
+// flavour's Table 2 values.
+func NewGHB(cfg GHBConfig) *GHB {
+	def := DefaultGHBConfig(cfg.Localization)
+	if cfg.BufferSize == 0 {
+		cfg.BufferSize = def.BufferSize
+	}
+	if cfg.IndexSize == 0 {
+		cfg.IndexSize = def.IndexSize
+	}
+	if cfg.HistoryLength == 0 {
+		cfg.HistoryLength = def.HistoryLength
+	}
+	if cfg.Degree == 0 {
+		cfg.Degree = def.Degree
+	}
+	isize := 1
+	for isize < cfg.IndexSize {
+		isize <<= 1
+	}
+	g := &GHB{
+		cfg:   cfg,
+		buf:   make([]ghbEntry, cfg.BufferSize),
+		gen:   make([]int, cfg.BufferSize),
+		index: make([]ghbIndex, isize),
+		ibits: log2(isize),
+	}
+	for i := range g.buf {
+		g.buf[i].prev = -1
+	}
+	return g
+}
+
+// Name implements Prefetcher.
+func (g *GHB) Name() string {
+	if g.cfg.Localization == LocalizePC {
+		return "ghb-pcdc"
+	}
+	return "ghb-gdc"
+}
+
+func (g *GHB) streamKey(a *Access) uint64 {
+	if g.cfg.Localization == LocalizePC {
+		return a.PC
+	}
+	return 0
+}
+
+// OnAccess implements Prefetcher.
+func (g *GHB) OnAccess(a *Access, iss Issuer) {
+	if !g.cfg.TrainOnHits && !a.MissedL1 {
+		return
+	}
+	key := g.streamKey(a)
+	slot := &g.index[hashBits(key, g.ibits)]
+
+	// Link the new entry into its stream.
+	prev := -1
+	prevGen := 0
+	if slot.valid && slot.key == key && g.entryLive(slot.last, slot.gen) {
+		prev = slot.last
+		prevGen = slot.gen
+	}
+	pos := g.head
+	g.tick++
+	g.buf[pos] = ghbEntry{line: memmodel.LineOf(a.Addr), prev: prev, gen: prevGen}
+	g.gen[pos] = g.tick
+	g.head = (g.head + 1) % len(g.buf)
+	*slot = ghbIndex{key: key, last: pos, gen: g.tick, valid: true}
+
+	// Gather the stream's most recent lines (newest first).
+	const maxWalk = 64
+	var lines [maxWalk]memmodel.Line
+	n := 0
+	idx, gen := pos, g.tick
+	for n < maxWalk && idx >= 0 && g.entryLive(idx, gen) {
+		lines[n] = g.buf[idx].line
+		gen = g.buf[idx].gen
+		idx = g.buf[idx].prev
+		n++
+	}
+	// Need at least 3 lines for two trailing deltas plus a match window.
+	h := g.cfg.HistoryLength
+	if h < 2 {
+		h = 2
+	}
+	if n < h+2 {
+		return
+	}
+	// deltas[i] = lines[i] - lines[i+1]; deltas[0] is the most recent.
+	deltas := make([]int64, n-1)
+	for i := 0; i < n-1; i++ {
+		deltas[i] = lines[i].Delta(lines[i+1])
+	}
+	// Correlation key: the last two deltas (standard delta-pair
+	// correlation). Find the previous position with the same pair.
+	k0, k1 := deltas[0], deltas[1]
+	for i := 2; i+1 < len(deltas); i++ {
+		if deltas[i] == k0 && deltas[i+1] == k1 {
+			// Replay the deltas that followed the earlier occurrence
+			// (moving toward the present), i.e. deltas[i-1], deltas[i-2]...
+			cur := memmodel.LineOf(a.Addr)
+			issued := 0
+			for j := i - 1; j >= 0 && issued < g.cfg.Degree; j-- {
+				cur = cur.AddLines(deltas[j])
+				iss.Prefetch(cur.Base(), a.Now)
+				issued++
+			}
+			return
+		}
+	}
+}
+
+// entryLive checks that buffer position idx still holds the entry written
+// at generation gen (it may have been overwritten by wrap-around).
+func (g *GHB) entryLive(idx, gen int) bool {
+	return idx >= 0 && gen > 0 && g.gen[idx] == gen
+}

@@ -1,0 +1,138 @@
+package prefetch
+
+import (
+	"semloc/internal/memmodel"
+)
+
+// Markov implements the Markov predictor of Joseph & Grunwald (ISCA 1997):
+// the miss-address stream is modelled as a Markov chain whose states are
+// addresses; each state records the most likely successors, and a miss
+// prefetches its top transitions. The paper discusses it as related work
+// whose state is limited to the address alone — it serves here as an extra
+// temporal-correlation baseline and as an ablation point ("context =
+// address only") against the context prefetcher.
+type Markov struct {
+	cfg     MarkovConfig
+	entries []markovEntry
+	bits    uint
+	last    memmodel.Line
+	hasLast bool
+}
+
+// MarkovConfig parameterizes the predictor.
+type MarkovConfig struct {
+	// TableSize is the number of source states (power of two).
+	TableSize int
+	// Successors is the number of successor slots per state.
+	Successors int
+	// Degree is the number of prefetches per miss.
+	Degree int
+	// TrainOnHits extends training to all accesses; the classical
+	// formulation observes only L1 misses.
+	TrainOnHits bool
+}
+
+// DefaultMarkovConfig scales the predictor to the common storage budget:
+// 2K states x 4 successors.
+func DefaultMarkovConfig() MarkovConfig {
+	return MarkovConfig{TableSize: 2048, Successors: 4, Degree: 2}
+}
+
+type markovEntry struct {
+	tag   uint64
+	succ  [4]memmodel.Line
+	count [4]uint8
+	valid bool
+}
+
+// NewMarkov creates a Markov prefetcher. Zero-value fields take defaults.
+func NewMarkov(cfg MarkovConfig) *Markov {
+	def := DefaultMarkovConfig()
+	if cfg.TableSize == 0 {
+		cfg.TableSize = def.TableSize
+	}
+	if cfg.Successors == 0 || cfg.Successors > 4 {
+		cfg.Successors = def.Successors
+	}
+	if cfg.Degree == 0 {
+		cfg.Degree = def.Degree
+	}
+	size := 1
+	for size < cfg.TableSize {
+		size <<= 1
+	}
+	return &Markov{cfg: cfg, entries: make([]markovEntry, size), bits: log2(size)}
+}
+
+// Name implements Prefetcher.
+func (*Markov) Name() string { return "markov" }
+
+// OnAccess implements Prefetcher.
+func (m *Markov) OnAccess(a *Access, iss Issuer) {
+	if !m.cfg.TrainOnHits && !a.MissedL1 {
+		return
+	}
+	line := memmodel.LineOf(a.Addr)
+	if m.hasLast && m.last != line {
+		m.train(m.last, line)
+	}
+	m.last = line
+	m.hasLast = true
+
+	e := m.slot(line)
+	if !e.valid || e.tag != uint64(line) {
+		return
+	}
+	// Prefetch the Degree highest-count successors.
+	usedMask := 0
+	for issued := 0; issued < m.cfg.Degree; issued++ {
+		best := -1
+		var bestCount uint8
+		for i := 0; i < m.cfg.Successors; i++ {
+			if usedMask&(1<<i) == 0 && e.count[i] > bestCount {
+				best, bestCount = i, e.count[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		usedMask |= 1 << best
+		iss.Prefetch(e.succ[best].Base(), a.Now)
+	}
+}
+
+func (m *Markov) slot(line memmodel.Line) *markovEntry {
+	return &m.entries[hashBits(uint64(line), m.bits)]
+}
+
+// train strengthens the from -> to transition.
+func (m *Markov) train(from, to memmodel.Line) {
+	e := m.slot(from)
+	if !e.valid || e.tag != uint64(from) {
+		*e = markovEntry{tag: uint64(from), valid: true}
+		e.succ[0] = to
+		e.count[0] = 1
+		return
+	}
+	// Existing successor?
+	weakest := 0
+	for i := 0; i < m.cfg.Successors; i++ {
+		if e.count[i] > 0 && e.succ[i] == to {
+			if e.count[i] < 255 {
+				e.count[i]++
+			}
+			return
+		}
+		if e.count[i] < e.count[weakest] {
+			weakest = i
+		}
+	}
+	// Replace the weakest successor (decay-and-replace policy).
+	if e.count[weakest] > 0 {
+		e.count[weakest]--
+	}
+	if e.count[weakest] == 0 {
+		e.succ[weakest] = to
+		e.count[weakest] = 1
+	}
+}

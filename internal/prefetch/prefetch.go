@@ -1,0 +1,99 @@
+// Package prefetch defines the prefetcher interface shared by the context
+// prefetcher and the competing spatio-temporal prefetchers the paper
+// evaluates against (§7): a PC-indexed stride prefetcher, the global
+// history buffer in its G/DC and PC/DC flavours, spatial memory streaming
+// (SMS), and a Markov predictor.
+//
+// All table sizes default to the storage-parity budgets of Table 2: the
+// competing prefetchers are scaled to roughly the ~31 kB of state used by
+// the context prefetcher.
+package prefetch
+
+import (
+	"semloc/internal/cache"
+	"semloc/internal/memmodel"
+	"semloc/internal/trace"
+)
+
+// Access describes one demand access as seen by a prefetcher, including the
+// context attributes of Table 1 that the hardware exposes.
+type Access struct {
+	// PC is the instruction pointer of the memory operation.
+	PC uint64
+	// Addr is the accessed byte address; Line its cache line.
+	Addr memmodel.Addr
+	Line memmodel.Line
+	// Now is the cycle at which the access issued.
+	Now cache.Cycle
+	// Index is the running count of demand accesses (used for distances).
+	Index uint64
+	// IsStore distinguishes stores.
+	IsStore bool
+	// MissedL1 reports whether the access missed in the L1.
+	MissedL1 bool
+	// Value is the data returned by the access, when the trace knows it
+	// (e.g. the pointer loaded from a node). Zero when unknown.
+	Value uint64
+	// Reg is the relevant general-register operand (e.g. a search key).
+	Reg uint64
+	// BranchHist is the global branch history register at this access.
+	BranchHist uint16
+	// Hints carries the compiler-injected attributes.
+	Hints trace.SWHints
+}
+
+// Issuer is the channel through which a prefetcher acts on the memory
+// system. Implemented by the simulation driver.
+type Issuer interface {
+	// Prefetch requests a prefetch of the line containing addr, issued at
+	// cycle now. It reports whether a new request was actually generated
+	// (false when the line is already present or in flight).
+	Prefetch(addr memmodel.Addr, now cache.Cycle) bool
+	// Shadow records a prediction that is deliberately not dispatched to
+	// memory (a shadow prefetch, or a throttled prediction). The driver
+	// uses it for the non-timely accounting of Figure 9 and the hit-depth
+	// CDF of Figure 8.
+	Shadow(addr memmodel.Addr)
+	// FreePrefetchSlots reports prefetch-request-queue availability so
+	// prefetchers can back off when the memory system is stressed.
+	FreePrefetchSlots(now cache.Cycle) int
+}
+
+// Prefetcher observes the demand access stream and issues prefetches.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports ("context", "ghb-gdc", ...).
+	Name() string
+	// OnAccess is invoked for every demand access, after the access itself
+	// has been performed.
+	OnAccess(a *Access, iss Issuer)
+}
+
+// hashBits spreads key with a Fibonacci multiplier and keeps the high
+// `bits` bits, which stay well mixed even for strongly aligned keys (PCs,
+// line numbers). Masking the low bits instead would collapse aligned keys
+// into a handful of slots.
+func hashBits(key uint64, bits uint) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> (64 - bits)
+}
+
+// log2 returns floor(log2(n)) for n >= 1.
+func log2(n int) uint {
+	b := uint(0)
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// None is the no-prefetching baseline.
+type None struct{}
+
+// NewNone returns the no-op prefetcher.
+func NewNone() *None { return &None{} }
+
+// Name implements Prefetcher.
+func (*None) Name() string { return "none" }
+
+// OnAccess implements Prefetcher.
+func (*None) OnAccess(*Access, Issuer) {}

@@ -1,0 +1,296 @@
+// Package sim wires a workload trace, the out-of-order core model, the
+// cache hierarchy and a prefetcher into one simulation run, and collects
+// the metrics the paper's evaluation reports: IPC/CPI (Figure 12/14),
+// per-level MPKI (Figures 10/11), the access-category breakdown
+// (Figure 9) and the prediction hit-depth distribution (Figure 8).
+package sim
+
+import (
+	"fmt"
+
+	"semloc/internal/cache"
+	"semloc/internal/cpu"
+	"semloc/internal/memmodel"
+	"semloc/internal/prefetch"
+	"semloc/internal/stats"
+	"semloc/internal/trace"
+)
+
+// Config combines the machine parameters.
+type Config struct {
+	CPU   cpu.Config
+	Cache cache.Config
+}
+
+// DefaultConfig returns the Table 2 machine.
+func DefaultConfig() Config {
+	return Config{CPU: cpu.DefaultConfig(), Cache: cache.DefaultConfig()}
+}
+
+// Categories is the Figure 9 access breakdown. All counters are demand
+// accesses except PrefetchNeverHit, which counts wasted prefetches and is
+// reported on top of the demand accesses (the paper's bars pass 100% for
+// the same reason).
+type Categories struct {
+	// HitPrefetched: demand hit a line a prefetch brought in on time.
+	HitPrefetched uint64
+	// ShorterWait: demand missed but merged with an in-flight prefetch.
+	ShorterWait uint64
+	// NonTimely: the prefetcher predicted the address but no request was
+	// issued to memory before the demand access.
+	NonTimely uint64
+	// MissNotPrefetched: demand missed with no prediction at all.
+	MissNotPrefetched uint64
+	// HitOlderDemand: demand hit with no prefetch needed.
+	HitOlderDemand uint64
+	// PrefetchNeverHit: prefetched lines evicted (or left) untouched.
+	PrefetchNeverHit uint64
+	// Demand is the total number of demand accesses.
+	Demand uint64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Workload and Prefetcher identify the run.
+	Workload, Prefetcher string
+	// CPU holds timing results (post-warm-up).
+	CPU cpu.Result
+	// L1 and L2 hold cache statistics (post-warm-up).
+	L1, L2 cache.LevelStats
+	// Categories is the Figure 9 breakdown (post-warm-up).
+	Categories Categories
+	// HitDepths is the distribution of accesses between a prediction and
+	// the demand that consumed it (Figure 8), over real and shadow
+	// predictions alike.
+	HitDepths *stats.Histogram
+}
+
+// L1MPKI returns L1 demand misses per kilo-instruction.
+func (r *Result) L1MPKI() float64 {
+	if r.CPU.Instructions == 0 {
+		return 0
+	}
+	return float64(r.L1.Misses) / float64(r.CPU.Instructions) * 1000
+}
+
+// L2MPKI returns L2 demand misses per kilo-instruction.
+func (r *Result) L2MPKI() float64 {
+	if r.CPU.Instructions == 0 {
+		return 0
+	}
+	return float64(r.L2.Misses) / float64(r.CPU.Instructions) * 1000
+}
+
+// IPC returns the run's instructions per cycle.
+func (r *Result) IPC() float64 { return r.CPU.IPC() }
+
+// metricsResetter lets prefetchers with internal statistics participate in
+// the warm-up boundary (implemented by core.Prefetcher).
+type metricsResetter interface{ ResetMetrics() }
+
+// Run simulates the trace with the given prefetcher.
+func Run(tr *trace.Trace, pf prefetch.Prefetcher, cfg Config) (*Result, error) {
+	hier, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	ad := &adapter{
+		hier:      hier,
+		pf:        pf,
+		hists:     branchHistories(tr),
+		hitDepths: stats.NewHistogram(192),
+		predLog:   newPredictionLog(512),
+	}
+	cpuCfg := cfg.CPU
+	cpuCfg.OnWarmupEnd = func(now cache.Cycle) {
+		hier.ResetStats()
+		ad.cats = Categories{}
+		ad.hitDepths = stats.NewHistogram(192)
+		if r, ok := pf.(metricsResetter); ok {
+			r.ResetMetrics()
+		}
+	}
+	cpuRes, err := cpu.Run(tr, ad, cpuCfg)
+	if err != nil {
+		return nil, err
+	}
+	hier.FinishStats()
+	l1, l2 := hier.Stats()
+	ad.cats.PrefetchNeverHit = l1.UselessEvicts
+	ad.cats.Demand = l1.Accesses
+	return &Result{
+		Workload:   tr.Name,
+		Prefetcher: pf.Name(),
+		CPU:        cpuRes,
+		L1:         l1,
+		L2:         l2,
+		Categories: ad.cats,
+		HitDepths:  ad.hitDepths,
+	}, nil
+}
+
+// RunWorkload generates the named workload and runs it under pf.
+func RunWorkload(name string, gen func() (*trace.Trace, error), pf prefetch.Prefetcher, cfg Config) (*Result, error) {
+	tr, err := gen()
+	if err != nil {
+		return nil, fmt.Errorf("sim: generating %s: %w", name, err)
+	}
+	return Run(tr, pf, cfg)
+}
+
+// branchHistories precomputes the global 16-bit branch history register at
+// each memory record, in record order. The adapter consumes them by
+// cursor, matching the CPU's in-order Access calls.
+func branchHistories(tr *trace.Trace) []uint16 {
+	var out []uint16
+	var hist uint16
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		switch r.Kind {
+		case trace.KindBranch:
+			hist <<= 1
+			if r.Taken {
+				hist |= 1
+			}
+		case trace.KindLoad, trace.KindStore:
+			out = append(out, hist)
+		}
+	}
+	return out
+}
+
+// adapter implements cpu.Memory: it performs the demand access, classifies
+// it (Figure 9), and drives the prefetcher.
+type adapter struct {
+	hier      *cache.Hierarchy
+	pf        prefetch.Prefetcher
+	hists     []uint16
+	cursor    int
+	accessIdx uint64
+	cats      Categories
+	hitDepths *stats.Histogram
+	predLog   *predictionLog
+}
+
+var _ cpu.Memory = (*adapter)(nil)
+
+// Access implements cpu.Memory.
+func (m *adapter) Access(rec *trace.Record, now cache.Cycle) cache.Cycle {
+	var res cache.Result
+	if rec.Kind == trace.KindStore {
+		res = m.hier.AccessWrite(rec.Addr, now)
+	} else {
+		res = m.hier.Access(rec.Addr, now)
+	}
+	line := memmodel.LineOf(rec.Addr)
+
+	// Figure 9 classification.
+	predicted, issued, depth := m.predLog.consume(line, m.accessIdx)
+	if predicted {
+		m.hitDepths.Add(depth)
+	}
+	switch {
+	case res.Outcome == cache.OutcomeL1Hit && res.PrefetchedLine:
+		m.cats.HitPrefetched++
+	case res.Outcome == cache.OutcomeL1Hit:
+		m.cats.HitOlderDemand++
+	case res.Outcome == cache.OutcomeL1InFlight && res.PrefetchedLine:
+		m.cats.ShorterWait++
+	case predicted && !issued:
+		m.cats.NonTimely++
+	default:
+		m.cats.MissNotPrefetched++
+	}
+
+	// Drive the prefetcher.
+	var hist uint16
+	if m.cursor < len(m.hists) {
+		hist = m.hists[m.cursor]
+	}
+	m.cursor++
+	a := prefetch.Access{
+		PC:         rec.PC,
+		Addr:       rec.Addr,
+		Line:       line,
+		Now:        now,
+		Index:      m.accessIdx,
+		IsStore:    rec.Kind == trace.KindStore,
+		MissedL1:   res.Outcome != cache.OutcomeL1Hit,
+		Value:      rec.Value,
+		Reg:        rec.Reg,
+		BranchHist: hist,
+		Hints:      rec.Hints,
+	}
+	m.pf.OnAccess(&a, m)
+	m.accessIdx++
+	// Stores also return their fill time: the core uses it only for store
+	// buffer occupancy and (rare) store-to-load value dependencies, never
+	// for retirement.
+	return res.Done
+}
+
+// Prefetch implements prefetch.Issuer.
+func (m *adapter) Prefetch(addr memmodel.Addr, now cache.Cycle) bool {
+	ok := m.hier.Prefetch(addr, now)
+	m.predLog.add(memmodel.LineOf(addr), m.accessIdx, ok)
+	return ok
+}
+
+// Shadow implements prefetch.Issuer.
+func (m *adapter) Shadow(addr memmodel.Addr) {
+	m.predLog.add(memmodel.LineOf(addr), m.accessIdx, false)
+}
+
+// FreePrefetchSlots implements prefetch.Issuer.
+func (m *adapter) FreePrefetchSlots(now cache.Cycle) int { return m.hier.FreePrefetchSlots(now) }
+
+// predictionLog is a bounded record of recent predictions, used for the
+// Figure 8 hit-depth CDF and the non-timely classification. It is the
+// simulator-side analogue of the context prefetcher's own prefetch queue,
+// kept separate so every prefetcher is measured identically.
+type predictionLog struct {
+	ring []predEntry
+	head int
+	pos  map[memmodel.Line]int // line -> newest live ring slot
+}
+
+type predEntry struct {
+	line   memmodel.Line
+	index  uint64
+	issued bool
+	live   bool
+}
+
+func newPredictionLog(capacity int) *predictionLog {
+	return &predictionLog{ring: make([]predEntry, capacity), pos: make(map[memmodel.Line]int, capacity)}
+}
+
+// add records a prediction of line at access index idx.
+func (p *predictionLog) add(line memmodel.Line, idx uint64, issued bool) {
+	old := &p.ring[p.head]
+	if old.live {
+		if cur, ok := p.pos[old.line]; ok && cur == p.head {
+			delete(p.pos, old.line)
+		}
+	}
+	p.ring[p.head] = predEntry{line: line, index: idx, issued: issued, live: true}
+	p.pos[line] = p.head
+	p.head = (p.head + 1) % len(p.ring)
+}
+
+// consume looks up and removes the newest prediction of line, returning
+// whether one existed, whether it was issued, and its depth in accesses.
+func (p *predictionLog) consume(line memmodel.Line, nowIdx uint64) (predicted, issued bool, depth int) {
+	slot, ok := p.pos[line]
+	if !ok {
+		return false, false, 0
+	}
+	e := &p.ring[slot]
+	if !e.live || e.line != line {
+		delete(p.pos, line)
+		return false, false, 0
+	}
+	e.live = false
+	delete(p.pos, line)
+	return true, e.issued, int(nowIdx - e.index)
+}

@@ -1,0 +1,215 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: integer histograms, cumulative distributions, and the
+// aggregate means used when reporting speedups and miss rates.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts occurrences of non-negative integer values (e.g. prefetch
+// hit depths). Values beyond the configured maximum are clamped into the
+// final overflow bucket so tail mass is never lost.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram covering values [0, max]; values above
+// max land in the bucket for max.
+func NewHistogram(max int) *Histogram {
+	if max < 0 {
+		max = 0
+	}
+	return &Histogram{counts: make([]uint64, max+1)}
+}
+
+// Add records one observation of v. Negative values clamp to 0.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.counts) {
+		v = len(h.counts) - 1
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of observations equal to v (after clamping).
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Max returns the largest representable value (the overflow bucket index).
+func (h *Histogram) Max() int { return len(h.counts) - 1 }
+
+// CDF returns the cumulative distribution F(v) = P(X <= v) for each v in
+// [0, Max]. An empty histogram yields all zeros.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		out[i] = float64(cum) / float64(h.total)
+	}
+	return out
+}
+
+// Fraction returns the fraction of observations in [lo, hi] inclusive.
+func (h *Histogram) Fraction(lo, hi int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(h.counts) {
+		hi = len(h.counts) - 1
+	}
+	var sum uint64
+	for i := lo; i <= hi; i++ {
+		sum += h.counts[i]
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// Mean returns the mean observed value (clamped values count as clamped).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Percentile returns the smallest v with CDF(v) >= p, for p in (0,1].
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := p * float64(h.total)
+	var cum float64
+	for v, c := range h.counts {
+		cum += float64(c)
+		if cum >= target {
+			return v
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds all observations of o into h. Histograms may differ in size;
+// overflow clamps apply.
+func (h *Histogram) Merge(o *Histogram) {
+	for v, c := range o.counts {
+		if c == 0 {
+			continue
+		}
+		idx := v
+		if idx >= len(h.counts) {
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx] += c
+		h.total += c
+	}
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive entries are
+// rejected with an error since a geometric mean is undefined for them.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geomean of empty slice")
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean requires positive values, got %v", x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// HarmonicMean returns the harmonic mean of xs (used for aggregating rates).
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: harmonic mean of empty slice")
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: harmonic mean requires positive values, got %v", x)
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv, nil
+}
+
+// Median returns the median of xs (0 for empty input). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

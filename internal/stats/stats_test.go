@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(3)
+	h.Add(3)
+	h.Add(7)
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3", h.Total())
+	}
+	if h.Count(3) != 2 {
+		t.Errorf("Count(3) = %d, want 2", h.Count(3))
+	}
+	if h.Count(0) != 0 {
+		t.Errorf("Count(0) = %d, want 0", h.Count(0))
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(5)
+	h.Add(-3)
+	h.Add(100)
+	if h.Count(0) != 1 {
+		t.Errorf("negative value should clamp to 0")
+	}
+	if h.Count(5) != 1 {
+		t.Errorf("overflow should clamp to max bucket")
+	}
+	if h.Count(-1) != 0 || h.Count(99) != 0 {
+		t.Errorf("out-of-range Count should be 0")
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHistogram(64)
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, p := range cdf {
+			if p < prev || p < 0 || p > 1.0000001 {
+				return false
+			}
+			prev = p
+		}
+		if len(vals) > 0 && math.Abs(cdf[len(cdf)-1]-1) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramEmptyCDF(t *testing.T) {
+	h := NewHistogram(4)
+	for _, p := range h.CDF() {
+		if p != 0 {
+			t.Errorf("empty CDF should be all zero")
+		}
+	}
+}
+
+func TestHistogramFraction(t *testing.T) {
+	h := NewHistogram(20)
+	for i := 0; i < 10; i++ {
+		h.Add(i)
+	}
+	if got := h.Fraction(0, 4); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Fraction(0,4) = %v, want 0.5", got)
+	}
+	if got := h.Fraction(-5, 100); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Fraction clamped = %v, want 1", got)
+	}
+}
+
+func TestHistogramMeanPercentile(t *testing.T) {
+	h := NewHistogram(100)
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	if m := h.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 50.5", m)
+	}
+	if p := h.Percentile(0.5); p != 50 {
+		t.Errorf("Percentile(0.5) = %d, want 50", p)
+	}
+	if p := h.Percentile(1.0); p != 100 {
+		t.Errorf("Percentile(1.0) = %d, want 100", p)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10)
+	b := NewHistogram(20)
+	a.Add(5)
+	b.Add(15)
+	b.Add(5)
+	a.Merge(b)
+	if a.Total() != 3 {
+		t.Errorf("merged total = %d, want 3", a.Total())
+	}
+	if a.Count(10) != 1 { // 15 clamps into a's overflow bucket
+		t.Errorf("overflow merge: Count(10) = %d, want 1", a.Count(10))
+	}
+	if a.Count(5) != 2 {
+		t.Errorf("Count(5) = %d, want 2", a.Count(5))
+	}
+}
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if m := Mean(xs); math.Abs(m-7.0/3) > 1e-9 {
+		t.Errorf("Mean = %v", m)
+	}
+	g, err := GeoMean(xs)
+	if err != nil || math.Abs(g-2) > 1e-9 {
+		t.Errorf("GeoMean = %v, err=%v, want 2", g, err)
+	}
+	hm, err := HarmonicMean([]float64{1, 1, 1})
+	if err != nil || math.Abs(hm-1) > 1e-9 {
+		t.Errorf("HarmonicMean = %v, err=%v", hm, err)
+	}
+}
+
+func TestMeanEdgeCases(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean(nil) should error")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("GeoMean with negative should error")
+	}
+	if _, err := HarmonicMean([]float64{0}); err == nil {
+		t.Error("HarmonicMean with zero should error")
+	}
+}
+
+func TestMedianMinMax(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if m := Median(xs); m != 3 {
+		t.Errorf("Median = %v, want 3", m)
+	}
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", m)
+	}
+	if xs[0] != 5 {
+		t.Error("Median must not mutate input")
+	}
+	if Max(xs) != 5 || Min(xs) != 1 {
+		t.Errorf("Max/Min wrong: %v %v", Max(xs), Min(xs))
+	}
+	if Max(nil) != 0 || Min(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty aggregates should be 0")
+	}
+}
+
+func TestGeoMeanProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)/1000 + 0.001
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	out := tb.String()
+	want := "== demo ==\nname   value\n-----  -----\nalpha  1.500\nb      42\n"
+	if out != want {
+		t.Errorf("Render mismatch:\n%q\nwant\n%q", out, want)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", tb.Rows())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow("y")
+	out := tb.String()
+	if out != "x\n-\ny\n" {
+		t.Errorf("Render = %q", out)
+	}
+}

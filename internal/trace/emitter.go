@@ -1,0 +1,113 @@
+package trace
+
+import "semloc/internal/memmodel"
+
+// Emitter is the instrumentation layer workload generators write through.
+// It plays the role of the paper's modified LLVM pass: every memory access
+// a workload emits can be annotated with the software attributes the pass
+// would have injected, and with the dataflow information (producer load,
+// register operand, loaded value) the hardware would expose.
+//
+// Emitter methods return the absolute index of the record just appended so
+// generators can express pointer-chasing dependencies.
+type Emitter struct {
+	t Trace
+}
+
+// NewEmitter creates an emitter for a workload with the given name.
+func NewEmitter(name string) *Emitter {
+	return &Emitter{t: Trace{Name: name}}
+}
+
+// Len returns the number of records emitted so far.
+func (e *Emitter) Len() int { return len(e.t.Records) }
+
+// Compute emits n back-to-back non-memory instructions (folded into one
+// record). n <= 0 is ignored.
+func (e *Emitter) Compute(n int) {
+	if n <= 0 {
+		return
+	}
+	// Merge adjacent compute blocks to keep traces compact.
+	if l := len(e.t.Records); l > 0 && e.t.Records[l-1].Kind == KindCompute {
+		e.t.Records[l-1].Count += uint32(n)
+		return
+	}
+	e.t.Records = append(e.t.Records, Record{Kind: KindCompute, Count: uint32(n), Dep: NoDep})
+}
+
+// MemSpec fully describes an annotated memory access for LoadSpec/StoreSpec.
+type MemSpec struct {
+	PC    uint64
+	Addr  memmodel.Addr
+	Size  uint8  // defaults to 8
+	Value uint64 // loaded/stored value (e.g. the pointer fetched)
+	Reg   uint64 // register-operand context (e.g. search key)
+	Dep   int    // absolute index of producer load, or <0 for none
+	Hints SWHints
+}
+
+// LoadSpec emits a fully annotated load and returns its record index.
+func (e *Emitter) LoadSpec(s MemSpec) int {
+	return e.mem(KindLoad, s)
+}
+
+// StoreSpec emits a fully annotated store and returns its record index.
+func (e *Emitter) StoreSpec(s MemSpec) int {
+	return e.mem(KindStore, s)
+}
+
+// Load emits a plain 8-byte load with no dependency or hints.
+func (e *Emitter) Load(pc uint64, addr memmodel.Addr) int {
+	return e.LoadSpec(MemSpec{PC: pc, Addr: addr, Dep: -1})
+}
+
+// LoadDep emits an 8-byte load whose address depends on producer load dep.
+func (e *Emitter) LoadDep(pc uint64, addr memmodel.Addr, dep int) int {
+	return e.LoadSpec(MemSpec{PC: pc, Addr: addr, Dep: dep})
+}
+
+// Store emits a plain 8-byte store.
+func (e *Emitter) Store(pc uint64, addr memmodel.Addr) int {
+	return e.StoreSpec(MemSpec{PC: pc, Addr: addr, Dep: -1})
+}
+
+func (e *Emitter) mem(kind Kind, s MemSpec) int {
+	if s.Size == 0 {
+		s.Size = 8
+	}
+	dep := NoDep
+	if s.Dep >= 0 && s.Dep < len(e.t.Records) {
+		dep = int32(s.Dep)
+	}
+	e.t.Records = append(e.t.Records, Record{
+		Kind:  kind,
+		PC:    s.PC,
+		Addr:  s.Addr,
+		Value: s.Value,
+		Reg:   s.Reg,
+		Dep:   dep,
+		Size:  s.Size,
+		Hints: s.Hints,
+	})
+	return len(e.t.Records) - 1
+}
+
+// Branch emits a conditional branch.
+func (e *Emitter) Branch(pc uint64, taken bool) {
+	e.t.Records = append(e.t.Records, Record{Kind: KindBranch, PC: pc, Taken: taken, Dep: NoDep})
+}
+
+// EndWarmup marks the warm-up boundary: the simulator resets statistics
+// here. Only the first marker is honoured by the simulator.
+func (e *Emitter) EndWarmup() {
+	e.t.Records = append(e.t.Records, Record{Kind: KindWarmupEnd, Dep: NoDep})
+}
+
+// Finish returns the accumulated trace. The emitter must not be used after
+// Finish.
+func (e *Emitter) Finish() *Trace {
+	t := e.t
+	e.t = Trace{}
+	return &t
+}

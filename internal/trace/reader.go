@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"semloc/internal/memmodel"
+)
+
+// Reader streams records from a binary trace without materializing the
+// whole trace, so multi-gigabyte traces can be replayed with constant
+// memory. It transparently handles gzip-compressed traces (as written by
+// tracegen -gzip).
+type Reader struct {
+	br      *bufio.Reader
+	name    string
+	total   uint64
+	read    uint64
+	prevPC  uint64
+	prevAdr uint64
+	// loadBits marks which past records were loads, so dependency
+	// references can be verified during streaming decode.
+	loadBits []uint64
+}
+
+// NewReader parses the trace header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	// Transparent gzip: sniff the two-byte magic.
+	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+		}
+		br = bufio.NewReader(gz)
+	}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxRecords = 1 << 30
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: record count %d exceeds limit", count)
+	}
+	return &Reader{br: br, name: string(nameBuf), total: count}, nil
+}
+
+// Name returns the workload name from the header.
+func (r *Reader) Name() string { return r.name }
+
+// Len returns the total record count from the header.
+func (r *Reader) Len() int { return int(r.total) }
+
+// Next decodes the next record into rec. It returns io.EOF after the last
+// record.
+func (r *Reader) Next(rec *Record) error {
+	if r.read >= r.total {
+		return io.EOF
+	}
+	i := r.read
+	kindB, err := r.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("trace: record %d kind: %w", i, noEOF(err))
+	}
+	flags, err := r.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("trace: record %d flags: %w", i, noEOF(err))
+	}
+	*rec = Record{Kind: Kind(kindB), Dep: NoDep, Taken: flags&flagTaken != 0}
+	switch rec.Kind {
+	case KindCompute:
+		c, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("trace: record %d count: %w", i, noEOF(err))
+		}
+		if c == 0 || c > 1<<31 {
+			return fmt.Errorf("trace: record %d compute count %d invalid", i, c)
+		}
+		rec.Count = uint32(c)
+	case KindBranch:
+		d, err := binary.ReadVarint(r.br)
+		if err != nil {
+			return fmt.Errorf("trace: record %d pc: %w", i, noEOF(err))
+		}
+		r.prevPC = uint64(int64(r.prevPC) + d)
+		rec.PC = r.prevPC
+	case KindLoad, KindStore:
+		if err := r.readMem(rec, flags, i); err != nil {
+			return err
+		}
+	case KindWarmupEnd:
+		// no payload
+	default:
+		return fmt.Errorf("trace: record %d unknown kind %d", i, kindB)
+	}
+	if rec.Kind == KindLoad {
+		word := int(i >> 6)
+		for len(r.loadBits) <= word {
+			r.loadBits = append(r.loadBits, 0)
+		}
+		r.loadBits[word] |= 1 << (i & 63)
+	}
+	r.read++
+	return nil
+}
+
+// isLoad reports whether record j (already decoded) was a load.
+func (r *Reader) isLoad(j uint64) bool {
+	word := int(j >> 6)
+	return word < len(r.loadBits) && r.loadBits[word]&(1<<(j&63)) != 0
+}
+
+func (r *Reader) readMem(rec *Record, flags byte, i uint64) error {
+	d, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return fmt.Errorf("trace: record %d pc: %w", i, noEOF(err))
+	}
+	r.prevPC = uint64(int64(r.prevPC) + d)
+	rec.PC = r.prevPC
+	d, err = binary.ReadVarint(r.br)
+	if err != nil {
+		return fmt.Errorf("trace: record %d addr: %w", i, noEOF(err))
+	}
+	r.prevAdr = uint64(int64(r.prevAdr) + d)
+	rec.Addr = memmodel.Addr(r.prevAdr)
+	sz, err := r.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("trace: record %d size: %w", i, noEOF(err))
+	}
+	if sz == 0 {
+		return fmt.Errorf("trace: record %d memory access of size 0", i)
+	}
+	rec.Size = sz
+	if flags&flagDep != 0 {
+		back, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("trace: record %d dep: %w", i, noEOF(err))
+		}
+		if back == 0 || back > i {
+			return fmt.Errorf("trace: record %d dep distance %d invalid", i, back)
+		}
+		if !r.isLoad(i - back) {
+			return fmt.Errorf("trace: record %d depends on non-load %d", i, i-back)
+		}
+		rec.Dep = int32(i - back)
+	}
+	if flags&flagValue != 0 {
+		v, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("trace: record %d value: %w", i, noEOF(err))
+		}
+		rec.Value = v
+	}
+	if flags&flagReg != 0 {
+		v, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("trace: record %d reg: %w", i, noEOF(err))
+		}
+		rec.Reg = v
+	}
+	if flags&flagHints != 0 {
+		tid, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("trace: record %d typeid: %w", i, noEOF(err))
+		}
+		off, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("trace: record %d linkoff: %w", i, noEOF(err))
+		}
+		rf, err := r.br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: record %d refform: %w", i, noEOF(err))
+		}
+		if RefForm(rf) >= refFormCount {
+			return fmt.Errorf("trace: record %d invalid ref form %d", i, rf)
+		}
+		rec.Hints = SWHints{Valid: true, TypeID: uint16(tid), LinkOffset: uint16(off), RefForm: RefForm(rf)}
+	}
+	return nil
+}
+
+// noEOF converts io.EOF into io.ErrUnexpectedEOF: inside a record an EOF
+// always means truncation.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// WriteGzip serializes t to w through gzip compression; NewReader (and
+// Read) decompress transparently.
+func WriteGzip(w io.Writer, t *Trace) error {
+	gz := gzip.NewWriter(w)
+	if err := Write(gz, t); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestStreamingReaderMatchesRead(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Name() != orig.Name {
+		t.Errorf("Name = %q, want %q", sr.Name(), orig.Name)
+	}
+	if sr.Len() != len(orig.Records) {
+		t.Errorf("Len = %d, want %d", sr.Len(), len(orig.Records))
+	}
+	var rec Record
+	for i := range orig.Records {
+		if err := sr.Next(&rec); err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if rec != orig.Records[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, rec, orig.Records[i])
+		}
+	}
+	if err := sr.Next(&rec); err != io.EOF {
+		t.Errorf("Next after end = %v, want io.EOF", err)
+	}
+	if err := sr.Next(&rec); err != io.EOF {
+		t.Errorf("repeated Next after end = %v, want io.EOF", err)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteGzip(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Compressed stream must be transparently handled by Read.
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(orig.Records) {
+		t.Fatalf("record count %d != %d", len(got.Records), len(orig.Records))
+	}
+	for i := range orig.Records {
+		if got.Records[i] != orig.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGzipSmallerForRepetitiveTraces(t *testing.T) {
+	e := NewEmitter("rep")
+	for i := 0; i < 10000; i++ {
+		e.Load(0x400, 0x10000)
+		e.Compute(3)
+	}
+	tr := e.Finish()
+	var plain, gz bytes.Buffer
+	if err := Write(&plain, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGzip(&gz, tr); err != nil {
+		t.Fatal(err)
+	}
+	if gz.Len() >= plain.Len() {
+		t.Errorf("gzip (%d) not smaller than plain (%d)", gz.Len(), plain.Len())
+	}
+}
+
+func TestReaderTruncatedGzip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteGzip(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	_, err := Read(bytes.NewReader(data[:len(data)/2]))
+	if err == nil {
+		t.Error("expected error for truncated gzip stream")
+	}
+}
+
+func TestReaderRejectsGarbageAfterGzipMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{0x1f, 0x8b, 0x00, 0x01})); err == nil {
+		t.Error("expected error for bogus gzip stream")
+	}
+}
+
+func FuzzRead(f *testing.F) {
+	// Seed with valid plain and gzip traces plus a few corruptions.
+	orig := sampleTrace()
+	var plain, gz bytes.Buffer
+	if err := Write(&plain, orig); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteGzip(&gz, orig); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+	f.Add(gz.Bytes())
+	f.Add([]byte("SLTR"))
+	f.Add([]byte{})
+	bad := append([]byte(nil), plain.Bytes()...)
+	if len(bad) > 10 {
+		bad[8] ^= 0xff
+	}
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; on success the trace must validate
+		// structurally sound dep indices.
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoded trace fails validation: %v", err)
+		}
+	})
+}
