@@ -1,0 +1,29 @@
+# Development workflow for the semloc reproduction. `make check` is the
+# full gate: vet + build + race-enabled tests + a short fuzz run of the
+# trace decoder (seed corpus under internal/trace/testdata/fuzz/).
+
+GO ?= go
+
+.PHONY: all vet build test race fuzz check clean
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
+
+check: vet build race fuzz
+
+clean:
+	$(GO) clean ./...

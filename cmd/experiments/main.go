@@ -6,25 +6,37 @@
 //	experiments -run fig12      # one experiment
 //	experiments -run fig12,fig14 -scale 0.5
 //	experiments -list           # list experiment ids
+//
+// SIGINT/SIGTERM cancel in-flight simulations; results already printed
+// stand. Exit codes: 0 all experiments completed, 1 at least one
+// experiment failed, 2 usage error, 3 cancelled (see DESIGN.md,
+// "Failure model").
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"semloc/internal/exp"
+	"semloc/internal/harness"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		scale = flag.Float64("scale", 1, "workload scale factor")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		list  = flag.Bool("list", false, "list experiment ids")
-		par   = flag.Int("parallel", 0, "max concurrent simulations (default GOMAXPROCS)")
+		runIDs = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		scale  = flag.Float64("scale", 1, "workload scale factor")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		list   = flag.Bool("list", false, "list experiment ids")
+		par    = flag.Int("parallel", 0, "max concurrent simulations (default GOMAXPROCS)")
+		stall  = flag.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
 	)
 	flag.Parse()
 
@@ -32,39 +44,65 @@ func main() {
 		for _, e := range exp.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return harness.ExitOK
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := exp.DefaultOptions()
 	opts.Scale = *scale
 	opts.Seed = *seed
 	opts.Parallelism = *par
-	runner := exp.NewRunner(opts)
+	opts.Harness = harness.RunConfig{StallTimeout: *stall}
+	runner := exp.NewRunnerContext(ctx, opts)
 
 	var selected []exp.Experiment
-	if *run == "" {
+	if *runIDs == "" {
 		selected = exp.Experiments()
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			e, err := exp.ByID(strings.TrimSpace(id))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(2)
+				return harness.ExitUsage
 			}
 			selected = append(selected, e)
 		}
 	}
 
+	completed, failed := 0, 0
 	for i, e := range selected {
+		if ctx.Err() != nil {
+			break
+		}
 		if i > 0 {
 			fmt.Println()
 		}
 		fmt.Printf("### %s — %s (scale %g)\n\n", e.ID, e.Title, *scale)
 		start := time.Now()
 		if err := e.Run(runner, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			if harness.IsCancelled(err) || ctx.Err() != nil {
+				break
+			}
+			// One failing experiment (bad pair, watchdog abort, recovered
+			// panic) doesn't kill the sweep: report it and move on.
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
 		}
+		completed++
 		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "experiments: cancelled after %d of %d experiments; partial results above\n",
+			completed, len(selected))
+		return harness.ExitCancelled
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", failed, len(selected))
+		return harness.ExitRunFailed
+	}
+	return harness.ExitOK
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"semloc/internal/harness"
+)
+
+// TestInterruptCancelsRun builds the experiments binary, starts a run long
+// enough to interrupt, sends SIGINT once output starts flowing, and checks
+// the documented "cancelled" exit code.
+func TestInterruptCancelsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary; skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "experiments")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building experiments: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-run", "fig12", "-scale", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting experiments: %v", err)
+	}
+
+	// Wait for the experiment header so we interrupt mid-run, not during
+	// startup, then keep draining so the child never blocks on a full pipe.
+	br := bufio.NewReader(stdout)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first output line: %v", err)
+	}
+	go io.Copy(io.Discard, br)
+
+	time.Sleep(300 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("sending SIGINT: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("experiments did not exit within 30s of SIGINT")
+	}
+	if code := cmd.ProcessState.ExitCode(); code != harness.ExitCancelled {
+		t.Fatalf("exit code = %d after SIGINT, want %d", code, harness.ExitCancelled)
+	}
+}

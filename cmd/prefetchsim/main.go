@@ -8,23 +8,32 @@
 //	prefetchsim -workload list -config machine.json
 //	prefetchsim -trace list.trace # replay a serialized trace (see tracegen)
 //	prefetchsim -list             # list available workloads
+//
+// SIGINT/SIGTERM cancel in-flight simulations; the partial table is
+// printed. Exit codes: 0 all runs completed, 1 at least one run failed,
+// 2 usage error, 3 cancelled (see DESIGN.md, "Failure model").
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"semloc/internal/exp"
+	"semloc/internal/harness"
 	"semloc/internal/prefetch"
-	"semloc/internal/sim"
 	"semloc/internal/stats"
 	"semloc/internal/trace"
 	"semloc/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		workload    = flag.String("workload", "", "workload name (see -list)")
 		traceFile   = flag.String("trace", "", "replay a serialized trace instead of generating a workload")
@@ -34,6 +43,7 @@ func main() {
 		list        = flag.Bool("list", false, "list available workloads")
 		verbose     = flag.Bool("v", false, "print access-category breakdown")
 		configPath  = flag.String("config", "", "JSON machine/prefetcher config (see exp.FileConfig)")
+		stall       = flag.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
 	)
 	flag.Parse()
 
@@ -43,32 +53,44 @@ func main() {
 			tb.AddRow(w.Name, w.Suite, w.Irregular, w.Description)
 		}
 		tb.Render(os.Stdout)
-		return
+		return harness.ExitOK
 	}
 	if *workload == "" && *traceFile == "" {
 		fmt.Fprintln(os.Stderr, "prefetchsim: -workload or -trace required (or -list)")
-		os.Exit(2)
+		return harness.ExitUsage
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var tr *trace.Trace
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
-			os.Exit(1)
+			return harness.ExitRunFailed
 		}
 		tr, err = trace.Read(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "prefetchsim: reading trace:", err)
-			os.Exit(1)
+			return harness.ExitRunFailed
 		}
 	} else {
 		w, err := workloads.ByName(*workload)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
-			os.Exit(2)
+			return harness.ExitUsage
 		}
-		tr = w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
+		// Generation can panic (heap exhaustion on an oversized scale);
+		// contain it into an orderly failure.
+		if err := harness.Safely(func() error {
+			tr = w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
+			return nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "prefetchsim: generating %s: %v\n", *workload, err)
+			return harness.ExitRunFailed
+		}
 	}
 	st := tr.ComputeStats()
 	fmt.Printf("workload %s: %d records, %d instructions, %d loads (%d dependent), %d stores\n\n",
@@ -80,14 +102,20 @@ func main() {
 		fc, err = exp.LoadConfig(*configPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
-			os.Exit(2)
+			return harness.ExitUsage
 		}
 	}
 	cfg := fc.SimConfig()
+	rc := harness.RunConfig{StallTimeout: *stall}
 	var baseIPC float64
 	tb := stats.NewTable("results", "prefetcher", "IPC", "speedup", "L1 MPKI", "L2 MPKI", "cycles")
 	var verboseRows []string
+	failed, cancelled := 0, false
 	for _, name := range strings.Split(*prefetchers, ",") {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
 		name = strings.TrimSpace(name)
 		var pf prefetch.Prefetcher
 		var err error
@@ -98,12 +126,19 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
-			os.Exit(2)
+			return harness.ExitUsage
 		}
-		res, err := sim.Run(tr, pf, cfg)
+		res, err := harness.Run(ctx, tr, pf, cfg, rc)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
-			os.Exit(1)
+			if harness.IsCancelled(err) {
+				cancelled = true
+				break
+			}
+			// One bad (workload, prefetcher) pair fails its run without
+			// killing the rest of the comparison.
+			fmt.Fprintf(os.Stderr, "prefetchsim: %s failed: %v\n", name, err)
+			failed++
+			continue
 		}
 		if name == "none" {
 			baseIPC = res.IPC()
@@ -129,6 +164,14 @@ func main() {
 			fmt.Println(row)
 		}
 	}
+	switch {
+	case cancelled:
+		fmt.Fprintln(os.Stderr, "prefetchsim: cancelled; partial results above")
+		return harness.ExitCancelled
+	case failed > 0:
+		return harness.ExitRunFailed
+	}
+	return harness.ExitOK
 }
 
 func f(n uint64, d float64) float64 {

@@ -7,20 +7,31 @@
 //	sweep -workload list -param epsilon -values 0,0.02,0.05,0.1,0.2
 //	sweep -workload mcf -param maxdegree -values 1,2,4,8 -scale 0.5
 //	sweep -params                      # list sweepable parameters
+//
+// Every -values entry is parsed and validated up front, before the
+// expensive baseline simulation, so a typo in the last value fails fast.
+// SIGINT/SIGTERM cancel in-flight simulations; the partial table is
+// printed. Exit codes: 0 completed, 1 a run failed, 2 usage error,
+// 3 cancelled (see DESIGN.md, "Failure model").
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"semloc/internal/core"
+	"semloc/internal/harness"
 	"semloc/internal/prefetch"
 	"semloc/internal/sim"
 	"semloc/internal/stats"
+	"semloc/internal/trace"
 	"semloc/internal/workloads"
 )
 
@@ -97,7 +108,34 @@ func findParam(name string) (param, bool) {
 	return param{}, false
 }
 
-func main() {
+// sweepPoint is one pre-validated value of the swept parameter.
+type sweepPoint struct {
+	value string
+	cfg   core.Config
+}
+
+// validateValues parses and validates every swept value against the
+// default configuration, before any simulation work happens. The returned
+// error names the parameter and the offending value.
+func validateValues(p param, values string) ([]sweepPoint, error) {
+	var points []sweepPoint
+	for _, v := range strings.Split(values, ",") {
+		v = strings.TrimSpace(v)
+		cfg := core.DefaultConfig()
+		if err := p.apply(&cfg, v); err != nil {
+			return nil, fmt.Errorf("-param %s value %q: %w", p.name, v, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("-param %s value %q: %w", p.name, v, err)
+		}
+		points = append(points, sweepPoint{value: v, cfg: cfg})
+	}
+	return points, nil
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		workload  = flag.String("workload", "list", "workload name")
 		paramName = flag.String("param", "", "parameter to sweep (see -params)")
@@ -105,6 +143,7 @@ func main() {
 		scale     = flag.Float64("scale", 0.3, "workload scale factor")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		list      = flag.Bool("params", false, "list sweepable parameters")
+		stall     = flag.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
 	)
 	flag.Parse()
 
@@ -113,54 +152,89 @@ func main() {
 		for _, p := range params {
 			fmt.Printf("%-12s %s\n", p.name, p.desc)
 		}
-		return
+		return harness.ExitOK
 	}
 	p, ok := findParam(*paramName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q (see -params)\n", *paramName)
-		os.Exit(2)
+		return harness.ExitUsage
 	}
 	if *values == "" {
 		fmt.Fprintln(os.Stderr, "sweep: -values required")
-		os.Exit(2)
+		return harness.ExitUsage
+	}
+	// Validate every value before paying for the baseline simulation.
+	points, err := validateValues(p, *values)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return harness.ExitUsage
 	}
 	w, err := workloads.ByName(*workload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(2)
+		return harness.ExitUsage
 	}
-	tr := w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rc := harness.RunConfig{StallTimeout: *stall}
+
+	var tr *trace.Trace
+	if err := harness.Safely(func() error {
+		tr = w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
+		return nil
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: generating %s: %v\n", *workload, err)
+		return harness.ExitRunFailed
+	}
 	machine := sim.DefaultConfig()
 
-	base, err := sim.Run(tr, prefetch.NewNone(), machine)
+	base, err := harness.Run(ctx, tr, prefetch.NewNone(), machine, rc)
 	if err != nil {
+		if harness.IsCancelled(err) {
+			fmt.Fprintln(os.Stderr, "sweep: cancelled")
+			return harness.ExitCancelled
+		}
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		return harness.ExitRunFailed
 	}
 
 	tb := stats.NewTable(
 		fmt.Sprintf("sweep %s over %s on %s (scale %g)", *paramName, *values, *workload, *scale),
 		*paramName, "speedup", "IPC", "L1 MPKI", "accuracy", "real-prefetches", "storage")
-	for _, v := range strings.Split(*values, ",") {
-		v = strings.TrimSpace(v)
-		cfg := core.DefaultConfig()
-		if err := p.apply(&cfg, v); err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: value %q: %v\n", v, err)
-			os.Exit(2)
+	failed, cancelled := 0, false
+	for _, pt := range points {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
 		}
-		pf, err := core.New(cfg)
+		pf, err := core.New(pt.cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: value %q: %v\n", v, err)
-			os.Exit(2)
+			// Validated above, so this indicates a bug; still report cleanly.
+			fmt.Fprintf(os.Stderr, "sweep: value %q: %v\n", pt.value, err)
+			return harness.ExitUsage
 		}
-		res, err := sim.Run(tr, pf, machine)
+		res, err := harness.Run(ctx, tr, pf, machine, rc)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			if harness.IsCancelled(err) {
+				cancelled = true
+				break
+			}
+			fmt.Fprintf(os.Stderr, "sweep: value %q failed: %v\n", pt.value, err)
+			failed++
+			continue
 		}
 		m := pf.Metrics()
-		tb.AddRow(v, res.IPC()/base.IPC(), res.IPC(), res.L1MPKI(), pf.Accuracy(),
-			m.RealPrefetches, fmt.Sprintf("%dkB", cfg.StorageBytes()>>10))
+		tb.AddRow(pt.value, res.IPC()/base.IPC(), res.IPC(), res.L1MPKI(), pf.Accuracy(),
+			m.RealPrefetches, fmt.Sprintf("%dkB", pt.cfg.StorageBytes()>>10))
 	}
 	tb.Render(os.Stdout)
+	switch {
+	case cancelled:
+		fmt.Fprintln(os.Stderr, "sweep: cancelled; partial results above")
+		return harness.ExitCancelled
+	case failed > 0:
+		return harness.ExitRunFailed
+	}
+	return harness.ExitOK
 }

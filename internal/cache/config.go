@@ -11,10 +11,15 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
 
 	"semloc/internal/memmodel"
 )
+
+// ErrBadConfig tags every configuration validation failure, so callers and
+// the harness panic guard can classify MustNew panics with errors.Is.
+var ErrBadConfig = errors.New("invalid cache configuration")
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
@@ -38,20 +43,20 @@ func (c LevelConfig) Sets() int {
 	return c.Size / (memmodel.LineSize * c.Ways)
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors; every failure wraps ErrBadConfig.
 func (c LevelConfig) Validate() error {
 	if c.Size <= 0 || c.Ways <= 0 {
-		return fmt.Errorf("cache %s: size and ways must be positive", c.Name)
+		return fmt.Errorf("cache %s: size and ways must be positive: %w", c.Name, ErrBadConfig)
 	}
 	if c.Size%(memmodel.LineSize*c.Ways) != 0 {
-		return fmt.Errorf("cache %s: size %d not divisible by ways*linesize", c.Name, c.Size)
+		return fmt.Errorf("cache %s: size %d not divisible by ways*linesize: %w", c.Name, c.Size, ErrBadConfig)
 	}
 	sets := c.Sets()
 	if sets&(sets-1) != 0 {
-		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+		return fmt.Errorf("cache %s: set count %d not a power of two: %w", c.Name, sets, ErrBadConfig)
 	}
 	if c.MSHRs <= 0 {
-		return fmt.Errorf("cache %s: MSHRs must be positive", c.Name)
+		return fmt.Errorf("cache %s: MSHRs must be positive: %w", c.Name, ErrBadConfig)
 	}
 	return nil
 }
@@ -96,7 +101,7 @@ func (c Config) Validate() error {
 		return err
 	}
 	if c.DRAMLatency == 0 {
-		return fmt.Errorf("cache: DRAM latency must be positive")
+		return fmt.Errorf("cache: DRAM latency must be positive: %w", ErrBadConfig)
 	}
 	return nil
 }

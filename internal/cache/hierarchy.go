@@ -87,8 +87,10 @@ func New(cfg Config) (*Hierarchy, error) {
 	}, nil
 }
 
-// MustNew builds a hierarchy and panics on configuration errors; intended
-// for tests and defaults known to be valid.
+// MustNew builds a hierarchy and panics on configuration errors (the panic
+// value is an error wrapping ErrBadConfig, which the simulation harness
+// recovers into a typed run failure); intended for tests and defaults
+// known to be valid.
 func MustNew(cfg Config) *Hierarchy {
 	h, err := New(cfg)
 	if err != nil {

@@ -20,8 +20,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 )
+
+// ErrBadConfig tags every configuration validation failure, so callers and
+// the harness panic guard can classify MustNew panics with errors.Is.
+var ErrBadConfig = errors.New("invalid prefetcher configuration")
 
 // Config parameterizes the context prefetcher. The defaults reproduce the
 // Table 2 budget (~31 kB of state).
@@ -108,44 +113,47 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors; every failure wraps ErrBadConfig.
 func (c Config) Validate() error {
 	if c.CSTEntries <= 0 || c.CSTEntries&(c.CSTEntries-1) != 0 {
-		return fmt.Errorf("core: CSTEntries must be a positive power of two, got %d", c.CSTEntries)
+		return fmt.Errorf("core: CSTEntries must be a positive power of two, got %d: %w", c.CSTEntries, ErrBadConfig)
 	}
 	if c.CSTLinks <= 0 || c.CSTLinks > 8 {
-		return fmt.Errorf("core: CSTLinks must be in 1..8, got %d", c.CSTLinks)
+		return fmt.Errorf("core: CSTLinks must be in 1..8, got %d: %w", c.CSTLinks, ErrBadConfig)
 	}
 	if c.ReducerEntries <= 0 || c.ReducerEntries&(c.ReducerEntries-1) != 0 {
-		return fmt.Errorf("core: ReducerEntries must be a positive power of two, got %d", c.ReducerEntries)
+		return fmt.Errorf("core: ReducerEntries must be a positive power of two, got %d: %w", c.ReducerEntries, ErrBadConfig)
 	}
 	if c.HistoryDepth <= 0 {
-		return fmt.Errorf("core: HistoryDepth must be positive")
+		return fmt.Errorf("core: HistoryDepth must be positive: %w", ErrBadConfig)
 	}
 	if c.QueueDepth <= 0 {
-		return fmt.Errorf("core: QueueDepth must be positive")
+		return fmt.Errorf("core: QueueDepth must be positive: %w", ErrBadConfig)
 	}
 	for _, d := range c.SampleDepths {
 		if d < 0 || d >= c.HistoryDepth {
-			return fmt.Errorf("core: sample depth %d outside history depth %d", d, c.HistoryDepth)
+			return fmt.Errorf("core: sample depth %d outside history depth %d: %w", d, c.HistoryDepth, ErrBadConfig)
 		}
 	}
 	if len(c.SampleDepths) == 0 {
-		return fmt.Errorf("core: at least one sample depth required")
+		return fmt.Errorf("core: at least one sample depth required: %w", ErrBadConfig)
 	}
 	if c.Epsilon < 0 || c.Epsilon > 1 {
-		return fmt.Errorf("core: epsilon must be in [0,1], got %v", c.Epsilon)
+		return fmt.Errorf("core: epsilon must be in [0,1], got %v: %w", c.Epsilon, ErrBadConfig)
 	}
 	if c.MaxDegree <= 0 {
-		return fmt.Errorf("core: MaxDegree must be positive")
+		return fmt.Errorf("core: MaxDegree must be positive: %w", ErrBadConfig)
 	}
 	if c.BlockShift < 2 || c.BlockShift > 12 {
-		return fmt.Errorf("core: BlockShift must be in 2..12, got %d", c.BlockShift)
+		return fmt.Errorf("core: BlockShift must be in 2..12, got %d: %w", c.BlockShift, ErrBadConfig)
 	}
 	if c.Policy >= policyKindCount {
-		return fmt.Errorf("core: unknown policy %d", c.Policy)
+		return fmt.Errorf("core: unknown policy %d: %w", c.Policy, ErrBadConfig)
 	}
-	return c.Reward.Validate()
+	if err := c.Reward.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", err, ErrBadConfig)
+	}
+	return nil
 }
 
 // StorageBytes estimates the hardware budget of the configuration, using

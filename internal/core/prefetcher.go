@@ -73,7 +73,9 @@ func New(cfg Config) (*Prefetcher, error) {
 	}, nil
 }
 
-// MustNew builds a context prefetcher and panics on configuration errors.
+// MustNew builds a context prefetcher and panics on configuration errors
+// (the panic value is an error wrapping ErrBadConfig, which the simulation
+// harness recovers into a typed run failure).
 func MustNew(cfg Config) *Prefetcher {
 	p, err := New(cfg)
 	if err != nil {

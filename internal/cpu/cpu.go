@@ -18,7 +18,9 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"semloc/internal/cache"
 	"semloc/internal/trace"
@@ -47,6 +49,11 @@ type Config struct {
 	// retires, with the current cycle. The driver uses it to reset cache
 	// and prefetcher statistics.
 	OnWarmupEnd func(now cache.Cycle)
+	// Progress, if set, receives the retired-instruction count at the
+	// simulation loop's periodic checkpoints (every few thousand records).
+	// External watchdogs sample it to detect a run that has stopped making
+	// forward progress.
+	Progress *atomic.Uint64
 }
 
 // DefaultConfig returns the Table 2 core: out-of-order, 4-wide fetch,
@@ -100,10 +107,26 @@ type robEntry struct {
 	retire cache.Cycle
 }
 
-// Run executes the trace against mem and returns timing results.
+// Run executes the trace against mem and returns timing results. It is
+// RunContext with a background context.
 func Run(tr *trace.Trace, mem Memory, cfg Config) (Result, error) {
+	return RunContext(context.Background(), tr, mem, cfg)
+}
+
+// checkEvery is the record interval between cancellation checks and
+// progress-counter publications; a power of two so the check is a mask.
+const checkEvery = 8192
+
+// RunContext executes the trace against mem and returns timing results.
+// The simulation loop checks ctx every few thousand records, so a
+// cancelled context (user interrupt, watchdog abort) stops the run
+// promptly with an error wrapping the cancellation cause.
+func RunContext(ctx context.Context, tr *trace.Trace, mem Memory, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	var (
 		res       Result
@@ -123,6 +146,17 @@ func Run(tr *trace.Trace, mem Memory, cfg Config) (Result, error) {
 	)
 
 	for i := range tr.Records {
+		if i&(checkEvery-1) == 0 {
+			if cfg.Progress != nil {
+				cfg.Progress.Store(instrs)
+			}
+			select {
+			case <-ctx.Done():
+				return Result{}, fmt.Errorf("cpu: %s cancelled at record %d/%d: %w",
+					tr.Name, i, len(tr.Records), context.Cause(ctx))
+			default:
+			}
+		}
 		rec := &tr.Records[i]
 
 		switch rec.Kind {

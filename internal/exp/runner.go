@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"semloc/internal/harness"
 	"semloc/internal/prefetch"
 	"semloc/internal/sim"
 	"semloc/internal/trace"
@@ -21,6 +24,9 @@ type Options struct {
 	Sim sim.Config
 	// Parallelism bounds concurrent simulations (defaults to GOMAXPROCS).
 	Parallelism int
+	// Harness bounds each simulation run (watchdog, cancellation grace).
+	// The zero value disables the watchdog; panic containment is always on.
+	Harness harness.RunConfig
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -29,9 +35,13 @@ func DefaultOptions() Options {
 }
 
 // Runner runs (workload, prefetcher) simulations, memoizing both generated
-// traces and results so different figures share work.
+// traces and results so different figures share work. Every run executes
+// under the harness: a panicking or stalled (workload, prefetcher) pair
+// fails its own run without taking down the sweep, and cancelling the
+// runner's context stops in-flight simulations promptly.
 type Runner struct {
 	opts Options
+	ctx  context.Context
 
 	mu      sync.Mutex
 	traces  map[string]*trace.Trace
@@ -41,8 +51,17 @@ type Runner struct {
 	sem     chan struct{}
 }
 
-// NewRunner creates a runner.
+// NewRunner creates a runner with a background context.
 func NewRunner(opts Options) *Runner {
+	return NewRunnerContext(context.Background(), opts)
+}
+
+// NewRunnerContext creates a runner whose simulations abort when ctx is
+// cancelled.
+func NewRunnerContext(ctx context.Context, opts Options) *Runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Scale <= 0 {
 		opts.Scale = 1
 	}
@@ -58,6 +77,7 @@ func NewRunner(opts Options) *Runner {
 	}
 	return &Runner{
 		opts:    opts,
+		ctx:     ctx,
 		traces:  make(map[string]*trace.Trace),
 		results: make(map[string]*sim.Result),
 		errs:    make(map[string]error),
@@ -69,7 +89,11 @@ func NewRunner(opts Options) *Runner {
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
 
-// Trace returns the (cached) generated trace for a workload.
+// Trace returns the (cached) generated trace for a workload. Generation
+// runs under supervision: a panicking generator (e.g. heap exhaustion on
+// an oversized scale) fails only this workload, and cancelling the
+// runner's context returns promptly even mid-generation (the generator
+// goroutine is abandoned; its result is still memoized if it finishes).
 func (r *Runner) Trace(workload string) (*trace.Trace, error) {
 	r.mu.Lock()
 	if tr, ok := r.traces[workload]; ok {
@@ -77,20 +101,39 @@ func (r *Runner) Trace(workload string) (*trace.Trace, error) {
 		return tr, nil
 	}
 	r.mu.Unlock()
+	if err := r.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exp: generating %s: %w", workload, context.Cause(r.ctx))
+	}
 	w, err := workloads.ByName(workload)
 	if err != nil {
 		return nil, err
 	}
-	tr := w.Generate(workloads.GenConfig{Scale: r.opts.Scale, Seed: r.opts.Seed})
-	r.mu.Lock()
-	// Another goroutine may have generated it meanwhile; keep the first.
-	if existing, ok := r.traces[workload]; ok {
-		tr = existing
-	} else {
-		r.traces[workload] = tr
+	done := make(chan error, 1)
+	var tr *trace.Trace
+	go func() {
+		done <- harness.Safely(func() error {
+			gen := w.Generate(workloads.GenConfig{Scale: r.opts.Scale, Seed: r.opts.Seed})
+			r.mu.Lock()
+			// Another goroutine may have generated it meanwhile; keep the first.
+			if existing, ok := r.traces[workload]; ok {
+				gen = existing
+			} else {
+				r.traces[workload] = gen
+			}
+			r.mu.Unlock()
+			tr = gen
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			return nil, fmt.Errorf("exp: generating %s: %w", workload, err)
+		}
+		return tr, nil
+	case <-r.ctx.Done():
+		return nil, fmt.Errorf("exp: generating %s: %w", workload, context.Cause(r.ctx))
 	}
-	r.mu.Unlock()
-	return tr, nil
 }
 
 // Result runs (or returns the cached result of) workload under prefetcher.
@@ -123,10 +166,14 @@ func (r *Runner) Result(workload, prefetcher string) (*sim.Result, error) {
 	res, err := r.run(workload, prefetcher)
 
 	r.mu.Lock()
-	if err != nil {
-		r.errs[key] = err
-	} else {
+	switch {
+	case err == nil:
 		r.results[key] = res
+	case harness.IsCancelled(err):
+		// Cancellation is a property of this attempt, not of the
+		// (workload, prefetcher) pair: don't memoize it.
+	default:
+		r.errs[key] = err
 	}
 	delete(r.inFly, key)
 	r.mu.Unlock()
@@ -149,9 +196,13 @@ func (r *Runner) run(workload, prefetcher string) (*sim.Result, error) {
 			return nil, err
 		}
 	}
-	r.sem <- struct{}{}
+	select {
+	case r.sem <- struct{}{}:
+	case <-r.ctx.Done():
+		return nil, fmt.Errorf("exp: %s/%s: %w", workload, prefetcher, context.Cause(r.ctx))
+	}
 	defer func() { <-r.sem }()
-	res, err := sim.Run(tr, pf, r.opts.Sim)
+	res, err := harness.Run(r.ctx, tr, pf, r.opts.Sim, r.opts.Harness)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s/%s: %w", workload, prefetcher, err)
 	}
@@ -159,7 +210,9 @@ func (r *Runner) run(workload, prefetcher string) (*sim.Result, error) {
 }
 
 // ResultsFor runs every listed prefetcher on the workload concurrently and
-// returns results indexed by prefetcher name.
+// returns results indexed by prefetcher name. When several runs fail,
+// their errors are joined so a multi-workload failure report names every
+// failing pair, not just the first off the channel.
 func (r *Runner) ResultsFor(workload string, prefetchers []string) (map[string]*sim.Result, error) {
 	out := make(map[string]*sim.Result, len(prefetchers))
 	errCh := make(chan error, len(prefetchers))
@@ -182,8 +235,12 @@ func (r *Runner) ResultsFor(workload string, prefetchers []string) (map[string]*
 	}
 	wg.Wait()
 	close(errCh)
-	if err := <-errCh; err != nil {
-		return nil, err
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	return out, nil
 }

@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"semloc/internal/harness"
+)
+
+func TestResultsForJoinsAllErrors(t *testing.T) {
+	r := tinyRunner()
+	_, err := r.ResultsFor("array", []string{"none", "bogus-a", "bogus-b"})
+	if err == nil {
+		t.Fatal("expected errors for unknown prefetchers")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bogus-a", "bogus-b"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error %q does not name failing pair %q", msg, want)
+		}
+	}
+}
+
+func TestRunnerCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Scale = 0.02
+	r := NewRunnerContext(ctx, opts)
+	_, err := r.Result("array", "none")
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !harness.IsCancelled(err) {
+		t.Errorf("IsCancelled = false for %v", err)
+	}
+	// Cancellation must not be memoized as a permanent failure: a fresh
+	// runner with a live context still runs the pair.
+	r2 := tinyRunner()
+	if _, err := r2.Result("array", "none"); err != nil {
+		t.Errorf("fresh runner failed after cancelled one: %v", err)
+	}
+}

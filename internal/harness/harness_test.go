@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"semloc/internal/memmodel"
+	"semloc/internal/prefetch"
+	"semloc/internal/sim"
+	"semloc/internal/trace"
+)
+
+func testTrace(n int) *trace.Trace {
+	e := trace.NewEmitter("harness-test")
+	for i := 0; i < n; i++ {
+		e.Load(0x400+uint64(i%8)*4, memmodel.Addr(0x100000+i*64))
+		e.Compute(2)
+	}
+	return e.Finish()
+}
+
+func TestRunCompletes(t *testing.T) {
+	tr := testTrace(2000)
+	res, err := Run(context.Background(), tr, prefetch.NewNone(), sim.DefaultConfig(),
+		RunConfig{StallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.CPU.Loads != 2000 {
+		t.Errorf("loads = %d, want 2000", res.CPU.Loads)
+	}
+}
+
+// panicPrefetcher panics on its first access, standing in for any
+// library-side bug or resource exhaustion inside a run.
+type panicPrefetcher struct{ value any }
+
+func (p *panicPrefetcher) Name() string                                  { return "panicking" }
+func (p *panicPrefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) { panic(p.value) }
+
+func TestRunRecoversPanic(t *testing.T) {
+	tr := testTrace(100)
+	_, err := Run(context.Background(), tr, &panicPrefetcher{value: "boom"}, sim.DefaultConfig(), RunConfig{})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("panic value = %v, want boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+	if IsCancelled(err) {
+		t.Error("panic classified as cancellation")
+	}
+}
+
+func TestRunRecoversTypedPanic(t *testing.T) {
+	tr := testTrace(100)
+	heapErr := &memmodel.HeapExhaustedError{Size: 64, Allocated: 1 << 20}
+	_, err := Run(context.Background(), tr, &panicPrefetcher{value: heapErr}, sim.DefaultConfig(), RunConfig{})
+	var he *memmodel.HeapExhaustedError
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %v, want to unwrap to *HeapExhaustedError", err)
+	}
+	if he.Size != 64 {
+		t.Errorf("unwrapped Size = %d, want 64", he.Size)
+	}
+}
+
+// stallPrefetcher blocks inside a single access until released: the
+// deliberately-stalled-run test hook for the watchdog.
+type stallPrefetcher struct{ release chan struct{} }
+
+func (p *stallPrefetcher) Name() string                                  { return "stalling" }
+func (p *stallPrefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) { <-p.release }
+
+func TestWatchdogAbortsStalledRun(t *testing.T) {
+	tr := testTrace(100)
+	pf := &stallPrefetcher{release: make(chan struct{})}
+	t.Cleanup(func() { close(pf.release) })
+
+	start := time.Now()
+	_, err := Run(context.Background(), tr, pf, sim.DefaultConfig(), RunConfig{
+		StallTimeout:  50 * time.Millisecond,
+		CheckInterval: 5 * time.Millisecond,
+		Grace:         50 * time.Millisecond,
+	})
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if se.Workload != "harness-test" || se.Prefetcher != "stalling" {
+		t.Errorf("diagnostic snapshot names %s/%s", se.Workload, se.Prefetcher)
+	}
+	if se.Stalled < 50*time.Millisecond {
+		t.Errorf("stall duration %v below timeout", se.Stalled)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("watchdog took %v to abort", elapsed)
+	}
+	if !IsStall(err) {
+		t.Error("IsStall = false for watchdog abort")
+	}
+	if IsCancelled(err) {
+		t.Error("watchdog abort classified as cancellation")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := testTrace(5000)
+	_, err := Run(ctx, tr, prefetch.NewNone(), sim.DefaultConfig(), RunConfig{})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !IsCancelled(err) {
+		t.Errorf("IsCancelled = false for %v", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("error %q does not mention cancellation", err)
+	}
+}
+
+func TestSafely(t *testing.T) {
+	if err := Safely(func() error { return nil }); err != nil {
+		t.Errorf("Safely(nil fn) = %v", err)
+	}
+	sentinel := errors.New("plain failure")
+	if err := Safely(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("Safely passes through errors, got %v", err)
+	}
+	err := Safely(func() error { panic("generator exploded") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Safely(panic) = %v, want *PanicError", err)
+	}
+}

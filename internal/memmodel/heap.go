@@ -95,10 +95,36 @@ func NewHeap(cfg HeapConfig) *Heap {
 	return h
 }
 
+// HeapExhaustedError reports an allocation request the heap could not
+// satisfy, which indicates a misconfigured workload (footprint larger than
+// Arenas*ArenaSize).
+type HeapExhaustedError struct {
+	// Size is the allocation request that failed.
+	Size uint64
+	// Allocated is the total number of bytes handed out before the failure.
+	Allocated uint64
+}
+
+// Error implements error.
+func (e *HeapExhaustedError) Error() string {
+	return fmt.Sprintf("memmodel: heap exhausted allocating %d bytes (allocated %d)", e.Size, e.Allocated)
+}
+
 // Alloc returns the base address of a fresh object of the given size. It
-// never returns overlapping ranges. It panics only if the heap is truly
-// exhausted, which indicates a misconfigured workload.
+// never returns overlapping ranges. It panics with a *HeapExhaustedError
+// only if the heap is truly exhausted; generator code that prefers an
+// error return should call TryAlloc instead, and the simulation harness
+// recovers the panic into the same typed error.
 func (h *Heap) Alloc(size uint64) Addr {
+	p, err := h.TryAlloc(size)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TryAlloc is Alloc with an error return instead of a panic.
+func (h *Heap) TryAlloc(size uint64) (Addr, error) {
 	if size == 0 {
 		size = 1
 	}
@@ -112,7 +138,7 @@ func (h *Heap) Alloc(size uint64) Addr {
 		p := AlignUp(h.largeNext, h.cfg.Align)
 		h.largeNext = p + Addr(size)
 		h.allocated += size
-		return p
+		return p, nil
 	}
 	if h.cfg.Fragmentation > 0 && h.rng.float64() < h.cfg.Fragmentation {
 		h.current = int(h.rng.next() % uint64(len(h.arenas)))
@@ -123,11 +149,11 @@ func (h *Heap) Alloc(size uint64) Addr {
 		if p+Addr(size) <= a.end {
 			a.next = p + Addr(size)
 			h.allocated += size
-			return p
+			return p, nil
 		}
 		h.current = (h.current + 1) % len(h.arenas)
 	}
-	panic(fmt.Sprintf("memmodel: heap exhausted allocating %d bytes (allocated %d)", size, h.allocated))
+	return 0, &HeapExhaustedError{Size: size, Allocated: h.allocated}
 }
 
 // AllocArray allocates count contiguous elements of elemSize bytes and

@@ -1,6 +1,7 @@
 package memmodel
 
 import (
+	"errors"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -104,13 +105,39 @@ func TestHeapDeterminism(t *testing.T) {
 
 func TestHeapExhaustionPanics(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on heap exhaustion")
+		v := recover()
+		if v == nil {
+			t.Fatal("expected panic on heap exhaustion")
+		}
+		he, ok := v.(*HeapExhaustedError)
+		if !ok {
+			t.Fatalf("panic value %T, want *HeapExhaustedError", v)
+		}
+		if he.Size != 1024 {
+			t.Errorf("Size = %d, want 1024", he.Size)
 		}
 	}()
 	h := NewHeap(HeapConfig{ArenaSize: 4096, Arenas: 2})
 	for i := 0; i < 100; i++ {
 		h.Alloc(1024)
+	}
+}
+
+func TestHeapTryAllocExhaustion(t *testing.T) {
+	h := NewHeap(HeapConfig{ArenaSize: 4096, Arenas: 2})
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		_, err = h.TryAlloc(1024)
+	}
+	if err == nil {
+		t.Fatal("expected TryAlloc to report exhaustion")
+	}
+	var he *HeapExhaustedError
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %v, want *HeapExhaustedError", err)
+	}
+	if he.Allocated == 0 {
+		t.Error("diagnostic Allocated field is zero")
 	}
 }
 

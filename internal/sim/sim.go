@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"semloc/internal/cache"
@@ -88,8 +89,17 @@ func (r *Result) IPC() float64 { return r.CPU.IPC() }
 // the warm-up boundary (implemented by core.Prefetcher).
 type metricsResetter interface{ ResetMetrics() }
 
-// Run simulates the trace with the given prefetcher.
+// Run simulates the trace with the given prefetcher. It is RunContext
+// with a background context.
 func Run(tr *trace.Trace, pf prefetch.Prefetcher, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), tr, pf, cfg)
+}
+
+// RunContext simulates the trace with the given prefetcher under ctx:
+// cancelling the context stops the simulation loop promptly with an error
+// wrapping the cancellation cause. Callers that need watchdog supervision
+// and panic containment on top should run through the harness package.
+func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cfg Config) (*Result, error) {
 	hier, err := cache.New(cfg.Cache)
 	if err != nil {
 		return nil, err
@@ -110,7 +120,7 @@ func Run(tr *trace.Trace, pf prefetch.Prefetcher, cfg Config) (*Result, error) {
 			r.ResetMetrics()
 		}
 	}
-	cpuRes, err := cpu.Run(tr, ad, cpuCfg)
+	cpuRes, err := cpu.RunContext(ctx, tr, ad, cpuCfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"io"
+
+	"semloc/internal/memmodel"
+)
+
+// FaultConfig configures deterministic fault injection on a byte stream.
+// All faults are driven by Seed, so a failing corruption pattern can be
+// replayed exactly; the stream of injected faults is deterministic for a
+// fixed consumer (read sizes feed the PRNG cursor).
+type FaultConfig struct {
+	// Seed drives the injected faults. Zero is remapped to 1 (see
+	// memmodel.NewRNG), so the zero value still injects deterministically.
+	Seed uint64
+	// BitFlipRate is the per-byte probability of flipping one
+	// pseudo-randomly chosen bit. Zero disables bit flips.
+	BitFlipRate float64
+	// TruncateAt, when positive, ends the stream with io.EOF after that
+	// many bytes, simulating a partially written or cut-off trace file.
+	TruncateAt int64
+	// ShortReads serves each Read with a pseudo-random prefix of the
+	// requested length (at least one byte), exercising every partial-read
+	// path in the decoder.
+	ShortReads bool
+}
+
+// FaultReader wraps an io.Reader and injects truncation, bit flips and
+// short reads per its FaultConfig. It is the test double for damaged trace
+// files: the decoder must turn every injected fault into an error (or a
+// clean io.EOF), never a panic.
+type FaultReader struct {
+	r   io.Reader
+	cfg FaultConfig
+	rng *memmodel.RNG
+	off int64
+}
+
+// NewFaultReader wraps r with deterministic fault injection.
+func NewFaultReader(r io.Reader, cfg FaultConfig) *FaultReader {
+	return &FaultReader{r: r, cfg: cfg, rng: memmodel.NewRNG(cfg.Seed)}
+}
+
+// Read implements io.Reader.
+func (f *FaultReader) Read(p []byte) (int, error) {
+	if f.cfg.TruncateAt > 0 {
+		if f.off >= f.cfg.TruncateAt {
+			return 0, io.EOF
+		}
+		if remain := f.cfg.TruncateAt - f.off; int64(len(p)) > remain {
+			p = p[:remain]
+		}
+	}
+	if f.cfg.ShortReads && len(p) > 1 {
+		p = p[:1+f.rng.Intn(len(p))]
+	}
+	n, err := f.r.Read(p)
+	if f.cfg.BitFlipRate > 0 {
+		for i := 0; i < n; i++ {
+			if f.rng.Float64() < f.cfg.BitFlipRate {
+				p[i] ^= 1 << uint(f.rng.Intn(8))
+			}
+		}
+	}
+	f.off += int64(n)
+	return n, err
+}

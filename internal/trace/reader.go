@@ -66,12 +66,21 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading count: %w", err)
 	}
-	const maxRecords = 1 << 30
-	if count > maxRecords {
-		return nil, fmt.Errorf("trace: record count %d exceeds limit", count)
+	if count > MaxTraceBytes/minRecordBytes {
+		return nil, fmt.Errorf("trace: record count %d implies a trace beyond the %d-byte limit", count, MaxTraceBytes)
 	}
 	return &Reader{br: br, name: string(nameBuf), total: count}, nil
 }
+
+// MaxTraceBytes bounds the trace size a header's record count may imply
+// (at the 2-byte minimum record encoding), so a corrupt header cannot
+// drive unbounded allocation in Read or the streaming reader's
+// dependency-tracking bitmaps. Tools replaying genuinely larger traces may
+// raise it before calling NewReader.
+var MaxTraceBytes uint64 = 2 << 30
+
+// minRecordBytes is the smallest encoding of one record (kind + flags).
+const minRecordBytes = 2
 
 // Name returns the workload name from the header.
 func (r *Reader) Name() string { return r.name }
@@ -123,8 +132,20 @@ func (r *Reader) Next(rec *Record) error {
 	}
 	if rec.Kind == KindLoad {
 		word := int(i >> 6)
-		for len(r.loadBits) <= word {
-			r.loadBits = append(r.loadBits, 0)
+		if word >= len(r.loadBits) {
+			// Grow geometrically, capped by the header record count (i is
+			// always < total, so the cap is never undershot): the bitmap
+			// can cost at most 1 bit per record the stream actually holds.
+			n := 2 * len(r.loadBits)
+			if n <= word {
+				n = word + 1
+			}
+			if maxWords := int((r.total + 63) >> 6); n > maxWords {
+				n = maxWords
+			}
+			grown := make([]uint64, n)
+			copy(grown, r.loadBits)
+			r.loadBits = grown
 		}
 		r.loadBits[word] |= 1 << (i & 63)
 	}

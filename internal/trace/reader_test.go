@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"testing"
 )
@@ -89,6 +90,98 @@ func TestReaderTruncatedGzip(t *testing.T) {
 	_, err := Read(bytes.NewReader(data[:len(data)/2]))
 	if err == nil {
 		t.Error("expected error for truncated gzip stream")
+	}
+}
+
+func TestReaderCorruptGzipBody(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteGzip(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the deflate body (past the 10-byte gzip header) at several
+	// offsets; each must decode to an error, never a panic. A flip can in
+	// principle land in slack bits and still decode — the trace must then
+	// at least be structurally valid.
+	errored := 0
+	for _, off := range []int{10, 12, len(data) / 2, len(data) - 5} {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0xff
+		tr, err := Read(bytes.NewReader(mut))
+		if err != nil {
+			errored++
+			continue
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Errorf("offset %d: corrupt gzip decoded into invalid trace: %v", off, verr)
+		}
+	}
+	if errored == 0 {
+		t.Error("no corrupted gzip body produced a decode error")
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	empty := &Trace{Name: "empty"}
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		var err error
+		if compress {
+			err = WriteGzip(&buf, empty)
+		} else {
+			err = Write(&buf, empty)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("gzip=%v: %v", compress, err)
+		}
+		if got.Name != "empty" || len(got.Records) != 0 {
+			t.Errorf("gzip=%v: round trip = %q/%d records", compress, got.Name, len(got.Records))
+		}
+		sr, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("gzip=%v: NewReader: %v", compress, err)
+		}
+		var rec Record
+		if err := sr.Next(&rec); err != io.EOF {
+			t.Errorf("gzip=%v: Next on empty trace = %v, want io.EOF", compress, err)
+		}
+	}
+}
+
+// header builds a syntactically valid trace header claiming count records.
+func header(count uint64) []byte {
+	h := []byte("SLTR\x01\x00") // magic, version 1, empty name
+	return binary.AppendUvarint(h, count)
+}
+
+func TestHeaderCountLimit(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(header(1 << 62))); err == nil {
+		t.Error("expected error for header count 1<<62")
+	}
+	if _, err := NewReader(bytes.NewReader(header(MaxTraceBytes/2 + 1))); err == nil {
+		t.Error("expected error for header count just past the byte limit")
+	}
+	if _, err := NewReader(bytes.NewReader(header(100))); err != nil {
+		t.Errorf("reasonable header rejected: %v", err)
+	}
+}
+
+func TestMaxTraceBytesConfigurable(t *testing.T) {
+	orig := MaxTraceBytes
+	defer func() { MaxTraceBytes = orig }()
+	MaxTraceBytes = 8
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("expected a tightened MaxTraceBytes to reject the sample trace header")
 	}
 }
 
