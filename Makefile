@@ -1,10 +1,13 @@
 # Development workflow for the semloc reproduction. `make check` is the
 # full gate: vet + build + race-enabled tests + a short fuzz run of the
-# trace decoder (seed corpus under internal/trace/testdata/fuzz/).
+# trace decoder (seed corpus under internal/trace/testdata/fuzz/) + a
+# quick-mode benchmark smoke that fails unless cmd/bench produces a
+# well-formed report.
 
 GO ?= go
+BENCH_N ?= 2
 
-.PHONY: all vet build test race fuzz check clean
+.PHONY: all vet build test race fuzz bench bench-smoke check clean
 
 all: build
 
@@ -23,7 +26,20 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
 
-check: vet build race fuzz
+# bench runs the full fixed (workload, prefetcher) matrix and records the
+# perf trajectory at the repo root (see DESIGN.md, "Hot path & benchmarking").
+bench:
+	$(GO) run ./cmd/bench -n $(BENCH_N) -v
+
+# bench-smoke is the tier-1 gate: the quick matrix must complete and emit
+# well-formed JSON (cmd/bench validates its own output and exits non-zero
+# otherwise).
+bench-smoke:
+	$(GO) run ./cmd/bench -quick -out .bench-smoke.json
+	rm -f .bench-smoke.json
+
+check: vet build race fuzz bench-smoke
 
 clean:
+	rm -f .bench-smoke.json
 	$(GO) clean ./...

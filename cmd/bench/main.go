@@ -1,0 +1,305 @@
+// Command bench runs the repository's continuous performance benchmark: a
+// fixed (workload, prefetcher) matrix simulated under internal/exp.Runner,
+// timed end to end, and written as a machine-readable JSON report so every
+// PR leaves a perf trajectory behind (BENCH_<n>.json at the repo root; see
+// DESIGN.md, "Hot path & benchmarking", for the schema).
+//
+// Usage:
+//
+//	bench                       # full matrix, writes BENCH_<n>.json
+//	bench -quick -out /tmp/b.json   # tiny smoke matrix (make check)
+//	bench -scale 0.5 -n 3       # custom scale, bench sequence number 3
+//
+// The report is validated after writing (re-read, re-parsed, sanity
+// checked); a report that cannot be produced or fails validation exits
+// non-zero. Exit codes follow the harness contract: 0 ok, 1 a run or the
+// report failed, 2 usage error, 3 cancelled.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"semloc/internal/exp"
+	"semloc/internal/harness"
+)
+
+// benchSeq is the default sequence number of the report this source tree
+// writes; bump it (or pass -n) in the PR that records a new baseline.
+const benchSeq = 2
+
+// Entry is one (workload, prefetcher) measurement.
+type Entry struct {
+	Workload   string `json:"workload"`
+	Prefetcher string `json:"prefetcher"`
+	// Accesses is the total demand accesses simulated (warm-up included —
+	// the simulator pays for them, so the per-access costs below do too).
+	Accesses uint64 `json:"accesses"`
+	// Records is the trace length in records.
+	Records int `json:"records"`
+	// WallNS is the end-to-end simulation wall time (trace generation
+	// excluded; traces are pre-generated and memoized).
+	WallNS int64 `json:"wall_ns"`
+	// NSPerAccess is WallNS / Accesses.
+	NSPerAccess float64 `json:"ns_per_access"`
+	// AllocsPerAccess is heap allocations per demand access across the run
+	// (runtime.MemStats.Mallocs delta); the hot-path target is ~0.
+	AllocsPerAccess float64 `json:"allocs_per_access"`
+	// IPC and Speedup (over the "none" baseline, when present) record the
+	// simulated outcome so a perf regression hunt can confirm behaviour
+	// did not drift along with speed.
+	IPC     float64 `json:"ipc"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Report is the BENCH_<n>.json schema (version 1).
+type Report struct {
+	Bench       int     `json:"bench"`
+	Schema      int     `json:"schema"`
+	Quick       bool    `json:"quick,omitempty"`
+	Scale       float64 `json:"scale"`
+	Seed        uint64  `json:"seed"`
+	GoVersion   string  `json:"go"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	Entries     []Entry `json:"entries"`
+	TotalWallNS int64   `json:"total_wall_ns"`
+}
+
+// Matrix configures a benchmark run.
+type Matrix struct {
+	Workloads   []string
+	Prefetchers []string
+	Scale       float64
+	Seed        uint64
+	Bench       int
+	Quick       bool
+}
+
+// DefaultMatrix is the fixed matrix the perf trajectory tracks: the
+// flagship linked workloads plus a sequential control, against the
+// baseline, a spatial competitor, a temporal competitor, and the paper's
+// context prefetcher.
+func DefaultMatrix() Matrix {
+	return Matrix{
+		Workloads:   []string{"list", "mcf", "array", "graph500-list"},
+		Prefetchers: []string{"none", "sms", "ghb-gdc", "context"},
+		Scale:       0.25,
+		Seed:        1,
+		Bench:       benchSeq,
+	}
+}
+
+// QuickMatrix is the make-check smoke: small enough to finish in seconds,
+// still covering the context prefetcher's full hot path.
+func QuickMatrix() Matrix {
+	return Matrix{
+		Workloads:   []string{"list", "array"},
+		Prefetchers: []string{"none", "context"},
+		Scale:       0.05,
+		Seed:        1,
+		Bench:       benchSeq,
+		Quick:       true,
+	}
+}
+
+// Run executes the matrix sequentially (Parallelism 1: wall times must not
+// contend) and assembles the report.
+func Run(ctx context.Context, m Matrix) (*Report, error) {
+	opts := exp.DefaultOptions()
+	opts.Scale = m.Scale
+	opts.Seed = m.Seed
+	opts.Parallelism = 1
+	r := exp.NewRunnerContext(ctx, opts)
+
+	rep := &Report{
+		Bench:     m.Bench,
+		Schema:    1,
+		Quick:     m.Quick,
+		Scale:     m.Scale,
+		Seed:      m.Seed,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	var ms runtime.MemStats
+	for _, wl := range m.Workloads {
+		// Pre-generate (and memoize) the trace so generation time never
+		// pollutes simulation wall time.
+		tr, err := r.Trace(wl)
+		if err != nil {
+			return nil, err
+		}
+		st := tr.ComputeStats()
+		accesses := st.Loads + st.Stores
+		var baseIPC float64
+		for _, pf := range m.Prefetchers {
+			runtime.ReadMemStats(&ms)
+			mallocs := ms.Mallocs
+			start := time.Now()
+			res, err := r.Result(wl, pf)
+			wall := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			runtime.ReadMemStats(&ms)
+			e := Entry{
+				Workload:   wl,
+				Prefetcher: pf,
+				Accesses:   accesses,
+				Records:    st.Records,
+				WallNS:     wall.Nanoseconds(),
+				IPC:        res.IPC(),
+			}
+			if accesses > 0 {
+				e.NSPerAccess = float64(e.WallNS) / float64(accesses)
+				e.AllocsPerAccess = float64(ms.Mallocs-mallocs) / float64(accesses)
+			}
+			if pf == "none" {
+				baseIPC = res.IPC()
+			} else if baseIPC > 0 {
+				e.Speedup = res.IPC() / baseIPC
+			}
+			rep.Entries = append(rep.Entries, e)
+			rep.TotalWallNS += e.WallNS
+		}
+	}
+	return rep, nil
+}
+
+// Validate sanity-checks a report the way make check needs: every matrix
+// cell present with positive work and time.
+func (r *Report) Validate(m Matrix) error {
+	if r.Schema != 1 {
+		return fmt.Errorf("bench: unknown schema %d", r.Schema)
+	}
+	if want := len(m.Workloads) * len(m.Prefetchers); len(r.Entries) != want {
+		return fmt.Errorf("bench: report holds %d entries, want %d", len(r.Entries), want)
+	}
+	for _, e := range r.Entries {
+		if e.Workload == "" || e.Prefetcher == "" {
+			return fmt.Errorf("bench: entry with empty identity: %+v", e)
+		}
+		if e.Accesses == 0 || e.WallNS <= 0 || e.NSPerAccess <= 0 {
+			return fmt.Errorf("bench: %s/%s measured no work: %+v", e.Workload, e.Prefetcher, e)
+		}
+		if e.IPC <= 0 {
+			return fmt.Errorf("bench: %s/%s has non-positive IPC", e.Workload, e.Prefetcher)
+		}
+	}
+	if r.TotalWallNS <= 0 {
+		return fmt.Errorf("bench: non-positive total wall time")
+	}
+	return nil
+}
+
+// WriteAndVerify marshals the report to path, then reads it back and
+// re-validates, so a truncated or malformed file fails loudly.
+func WriteAndVerify(rep *Report, m Matrix, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	read, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench: re-reading report: %w", err)
+	}
+	var check Report
+	if err := json.Unmarshal(read, &check); err != nil {
+		return fmt.Errorf("bench: report at %s is not well-formed JSON: %w", path, err)
+	}
+	return check.Validate(m)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		quick   = flag.Bool("quick", false, "smoke mode: tiny matrix and scale (used by make check)")
+		scale   = flag.Float64("scale", 0, "workload scale factor (default: matrix default)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		n       = flag.Int("n", benchSeq, "bench sequence number (names the default output file)")
+		out     = flag.String("out", "", "output path (default BENCH_<n>.json)")
+		wls     = flag.String("workloads", "", "comma-separated workloads (default: fixed matrix)")
+		pfs     = flag.String("prefetchers", "", "comma-separated prefetchers (default: fixed matrix)")
+		verbose = flag.Bool("v", false, "print per-entry measurements to stderr")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "bench: unexpected arguments:", flag.Args())
+		return harness.ExitUsage
+	}
+
+	m := DefaultMatrix()
+	if *quick {
+		m = QuickMatrix()
+	}
+	m.Bench = *n
+	m.Seed = *seed
+	if *scale > 0 {
+		m.Scale = *scale
+	}
+	if *wls != "" {
+		m.Workloads = splitList(*wls)
+	}
+	if *pfs != "" {
+		m.Prefetchers = splitList(*pfs)
+	}
+	if len(m.Workloads) == 0 || len(m.Prefetchers) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: empty workload or prefetcher matrix")
+		return harness.ExitUsage
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%d.json", m.Bench)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := Run(ctx, m)
+	if err != nil {
+		if harness.IsCancelled(err) || ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "bench: cancelled:", err)
+			return harness.ExitCancelled
+		}
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return harness.ExitRunFailed
+	}
+	if *verbose {
+		for _, e := range rep.Entries {
+			fmt.Fprintf(os.Stderr, "bench: %-14s %-8s %8.1f ns/access %6.3f allocs/access %8s wall\n",
+				e.Workload, e.Prefetcher, e.NSPerAccess, e.AllocsPerAccess,
+				time.Duration(e.WallNS).Round(time.Millisecond))
+		}
+	}
+	if err := WriteAndVerify(rep, m, path); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return harness.ExitRunFailed
+	}
+	fmt.Printf("bench: wrote %s (%d entries, total sim wall %v)\n",
+		path, len(rep.Entries), time.Duration(rep.TotalWallNS).Round(time.Millisecond))
+	return harness.ExitOK
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuickMatrixReport runs the make-check smoke matrix end to end (at an
+// even smaller scale to keep the test fast) and checks the written report
+// is well-formed and validates.
+func TestQuickMatrixReport(t *testing.T) {
+	m := QuickMatrix()
+	m.Scale = 0.02
+	rep, err := Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteAndVerify(rep, m, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(m.Workloads)*len(m.Prefetchers) {
+		t.Fatalf("report has %d entries, want %d", len(back.Entries), len(m.Workloads)*len(m.Prefetchers))
+	}
+}
+
+// TestValidateRejectsMalformed covers the failure paths make check relies
+// on: missing entries, zero work, bad schema.
+func TestValidateRejectsMalformed(t *testing.T) {
+	m := Matrix{Workloads: []string{"list"}, Prefetchers: []string{"none"}}
+	good := Report{
+		Schema:      1,
+		Entries:     []Entry{{Workload: "list", Prefetcher: "none", Accesses: 10, WallNS: 5, NSPerAccess: 0.5, IPC: 1}},
+		TotalWallNS: 5,
+	}
+	if err := good.Validate(m); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	bad := good
+	bad.Schema = 2
+	if err := bad.Validate(m); err == nil {
+		t.Error("schema 2 accepted")
+	}
+	bad = good
+	bad.Entries = nil
+	if err := bad.Validate(m); err == nil {
+		t.Error("empty entry list accepted")
+	}
+	bad = good
+	bad.Entries = []Entry{{Workload: "list", Prefetcher: "none"}}
+	if err := bad.Validate(m); err == nil {
+		t.Error("zero-work entry accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package cache
+
+import (
+	"testing"
+
+	"semloc/internal/memmodel"
+)
+
+// benchAddrs builds a mixed access pattern: a hot working set that mostly
+// hits L1 plus a cold sweep that misses through to DRAM, so the benchmark
+// covers the lookup, MSHR and install paths together.
+func benchAddrs(n int) []memmodel.Addr {
+	rng := memmodel.NewRNG(41)
+	out := make([]memmodel.Addr, n)
+	for i := range out {
+		if rng.Intn(4) == 0 {
+			out[i] = memmodel.Addr(rng.Uint64() & 0x3ffffff) // cold, 64 MB span
+		} else {
+			out[i] = memmodel.Addr(rng.Uint64() & 0x3fff) // hot 16 kB set
+		}
+	}
+	return out
+}
+
+// BenchmarkHierarchyAccess measures the demand-lookup path. The hot-path
+// invariant (DESIGN.md, "Hot path & benchmarking") is 0 allocs/op.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := MustNew(DefaultConfig())
+	addrs := benchAddrs(8192)
+	var now Cycle
+	for i := range addrs {
+		h.Access(addrs[i], now)
+		now += 2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addrs[i%len(addrs)], now)
+		now += 2
+	}
+}
+
+// BenchmarkHierarchyPrefetch measures the prefetch-fill path end to end
+// (request queue, L2, DRAM channels, both installs).
+func BenchmarkHierarchyPrefetch(b *testing.B) {
+	h := MustNew(DefaultConfig())
+	addrs := benchAddrs(8192)
+	var now Cycle
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Prefetch(addrs[i%len(addrs)], now)
+		now += 2
+	}
+}

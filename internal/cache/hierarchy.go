@@ -60,8 +60,6 @@ type Hierarchy struct {
 	pfQue    mshrFile // outstanding-prefetch limiter (request queue)
 	dram     mshrFile // DRAM channel occupancy (bandwidth model)
 	dramBusy Cycle
-	// pendingWriteback flags a dirty L2 eviction awaiting its DRAM slot.
-	pendingWriteback bool
 }
 
 // New builds a hierarchy; the configuration must be valid.
@@ -196,21 +194,15 @@ func (h *Hierarchy) accessL2(line memmodel.Line, t Cycle, prefetch bool) (Cycle,
 	h.dram.hold(ch, chStart+h.dramBusy)
 	fill := chStart + h.cfg.L2.Latency + h.cfg.DRAMLatency
 	h.l2.mshr.hold(idx, fill)
-	defer func() {
-		// Evicting a dirty L2 line writes it back to DRAM, consuming a
-		// channel slot (the fill itself is unaffected: eviction buffers
-		// decouple the two transfers).
-		if h.pendingWriteback {
-			h.pendingWriteback = false
-			wbStart, wb := h.dram.acquire(fill)
-			h.dram.hold(wb, wbStart+h.dramBusy)
-		}
-	}()
 	// Prefetch fills install at LRU position (prefetch-conscious
 	// insertion): inaccurate prefetches are evicted first and cannot
 	// thrash an L2-resident working set.
 	if _, dirtyEvict := h.l2.install(line, t, fill, prefetch, prefetch); dirtyEvict {
-		h.pendingWriteback = true
+		// Evicting a dirty L2 line writes it back to DRAM, consuming a
+		// channel slot (the fill itself is unaffected: eviction buffers
+		// decouple the two transfers).
+		wbStart, wb := h.dram.acquire(fill)
+		h.dram.hold(wb, wbStart+h.dramBusy)
 	}
 	return fill, OutcomeMemory
 }

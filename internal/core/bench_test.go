@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"semloc/internal/cache"
+	"semloc/internal/memmodel"
+	"semloc/internal/prefetch"
+	"semloc/internal/trace"
+)
+
+// benchIssuer is a no-op issuer with a fixed number of free slots, so the
+// benchmark exercises the full real-prefetch path without simulating a
+// memory system.
+type benchIssuer struct{ free int }
+
+func (b *benchIssuer) Prefetch(addr memmodel.Addr, now cache.Cycle) bool { return true }
+func (b *benchIssuer) Shadow(addr memmodel.Addr)                         {}
+func (b *benchIssuer) FreePrefetchSlots(now cache.Cycle) int             { return b.free }
+
+// benchStream pre-builds a recurring pointer-chase access stream (the
+// regime where the queue fills, matches fire and predictions issue — the
+// worst case for the per-access bookkeeping).
+func benchStream(n int) []prefetch.Access {
+	rng := memmodel.NewRNG(17)
+	base := int64(1 << 20)
+	blocks := make([]int64, 64)
+	cur := base
+	for i := range blocks {
+		blocks[i] = cur
+		cur += int64(rng.Intn(200) - 100)
+		if cur < base-120 {
+			cur = base
+		}
+	}
+	out := make([]prefetch.Access, n)
+	for i := range out {
+		curB := blocks[i%len(blocks)]
+		next := blocks[(i+1)%len(blocks)]
+		addr := memmodel.Addr(curB << 6)
+		out[i] = prefetch.Access{
+			PC:       0x400680,
+			Addr:     addr,
+			Line:     memmodel.LineOf(addr),
+			Index:    uint64(i),
+			Now:      cache.Cycle(i * 30),
+			MissedL1: true,
+			Value:    uint64(next << 6),
+			Hints:    trace.SWHints{Valid: true, TypeID: 3, LinkOffset: 8, RefForm: trace.RefArrow},
+		}
+	}
+	return out
+}
+
+// BenchmarkOnAccess measures the prefetcher's per-demand-access cost on a
+// learned recurring chase: every access pays context capture, two hash
+// lookups, queue feedback, collection and prediction. The hot-path
+// invariant (DESIGN.md, "Hot path & benchmarking") is 0 allocs/op.
+func BenchmarkOnAccess(b *testing.B) {
+	p := MustNew(DefaultConfig())
+	iss := &benchIssuer{free: 4}
+	stream := benchStream(4096)
+	// Warm the tables so the steady state (queue full, scores converged) is
+	// what gets measured.
+	for i := range stream {
+		p.OnAccess(&stream[i], iss)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.OnAccess(&stream[i%len(stream)], iss)
+	}
+}
+
+// BenchmarkOnAccessRandom measures the untrained regime: a random stream
+// where nearly every prediction misses and the queue churns.
+func BenchmarkOnAccessRandom(b *testing.B) {
+	p := MustNew(DefaultConfig())
+	iss := &benchIssuer{free: 4}
+	rng := memmodel.NewRNG(29)
+	stream := make([]prefetch.Access, 4096)
+	for i := range stream {
+		addr := memmodel.Addr(rng.Uint64() & 0x3fffffff)
+		stream[i] = prefetch.Access{
+			PC: 0x400, Addr: addr, Line: memmodel.LineOf(addr),
+			Index: uint64(i), MissedL1: true,
+		}
+	}
+	for i := range stream {
+		p.OnAccess(&stream[i], iss)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.OnAccess(&stream[i%len(stream)], iss)
+	}
+}

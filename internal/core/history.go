@@ -23,7 +23,10 @@ func newHistoryQueue(depth int) *historyQueue {
 
 // push records the newest context.
 func (h *historyQueue) push(key cstKey, block int64) {
-	h.head = (h.head + 1) % len(h.entries)
+	h.head++
+	if h.head == len(h.entries) {
+		h.head = 0
+	}
 	h.entries[h.head] = historyEntry{key: key, block: block, live: true}
 	if h.size < len(h.entries) {
 		h.size++
@@ -36,7 +39,11 @@ func (h *historyQueue) at(depth int) *historyEntry {
 	if depth < 0 || depth >= h.size {
 		return nil
 	}
-	idx := (h.head - depth + len(h.entries)*2) % len(h.entries)
+	// depth < size <= len and head < len, so one wrap-around suffices.
+	idx := h.head - depth
+	if idx < 0 {
+		idx += len(h.entries)
+	}
 	e := &h.entries[idx]
 	if !e.live {
 		return nil

@@ -7,12 +7,24 @@ package core
 // entries that fall off the end unhit earn the expiry penalty.
 //
 // The hardware design bounds the per-cycle search and defers lookups; the
-// software model searches the whole queue, which only strengthens feedback
-// fidelity (§5 notes reward delivery may be deferred with no impact).
+// software model used to search the whole queue on every demand access,
+// which put two O(QueueDepth) scans on the simulator's hottest path. The
+// queue now carries a block→entry hash index (fixed bucket array, entries
+// chained intrusively through pfEntry.next in ascending slot order), so
+// match and contains cost O(live entries predicting the block) instead of
+// O(QueueDepth), with zero per-access allocation. Chains are kept in
+// ascending slot order so match visits entries exactly as the old linear
+// scan did — feedback order feeds the policy's moving accuracy estimate,
+// and reordering it would change simulation results.
 type prefetchQueue struct {
 	entries []pfEntry
 	head    int // next slot to overwrite (oldest entry)
 	size    int
+	// buckets maps hash(block) to the lowest-slot live, unhit entry
+	// predicting a block with that hash; -1 = empty. Sized at ≥2x the queue
+	// depth (power of two) so chains stay short.
+	buckets []int32
+	mask    uint64
 }
 
 type pfEntry struct {
@@ -23,51 +35,132 @@ type pfEntry struct {
 	issued bool // real prefetch (false = shadow)
 	hit    bool // consumed by a demand access
 	live   bool
+	next   int32 // next chained entry (same bucket, higher slot); nilIdx = none
 }
 
+// nilIdx terminates intrusive bucket chains.
+const nilIdx int32 = -1
+
 func newPrefetchQueue(depth int) *prefetchQueue {
-	return &prefetchQueue{entries: make([]pfEntry, depth)}
+	nb := 1
+	for nb < 2*depth {
+		nb <<= 1
+	}
+	q := &prefetchQueue{
+		entries: make([]pfEntry, depth),
+		buckets: make([]int32, nb),
+		mask:    uint64(nb - 1),
+	}
+	for i := range q.buckets {
+		q.buckets[i] = nilIdx
+	}
+	return q
+}
+
+// bucket returns the chain head slot for block's hash bucket.
+func (q *prefetchQueue) bucket(block int64) *int32 {
+	h := uint64(block) * 0x9e3779b97f4a7c15
+	return &q.buckets[(h^(h>>32))&q.mask]
+}
+
+// link inserts slot i into its block's bucket chain, keeping the chain in
+// ascending slot order (the old full-scan match order).
+func (q *prefetchQueue) link(i int32) {
+	b := q.bucket(q.entries[i].block)
+	if *b == nilIdx || *b > i {
+		q.entries[i].next = *b
+		*b = i
+		return
+	}
+	p := *b
+	for q.entries[p].next != nilIdx && q.entries[p].next < i {
+		p = q.entries[p].next
+	}
+	q.entries[i].next = q.entries[p].next
+	q.entries[p].next = i
+}
+
+// unlink removes slot i from its bucket chain. i must be chained (live and
+// unhit).
+func (q *prefetchQueue) unlink(i int32) {
+	b := q.bucket(q.entries[i].block)
+	if *b == i {
+		*b = q.entries[i].next
+		q.entries[i].next = nilIdx
+		return
+	}
+	p := *b
+	for q.entries[p].next != i {
+		p = q.entries[p].next
+	}
+	q.entries[p].next = q.entries[i].next
+	q.entries[i].next = nilIdx
 }
 
 // push appends a prediction, returning the expired entry it displaced (if
 // that entry was live and never hit) so the caller can apply the expiry
 // penalty.
 func (q *prefetchQueue) push(e pfEntry) (expired pfEntry, hasExpired bool) {
-	old := q.entries[q.head]
-	q.entries[q.head] = e
-	q.head = (q.head + 1) % len(q.entries)
+	h := int32(q.head)
+	old := q.entries[h]
+	if old.live && !old.hit {
+		q.unlink(h)
+	}
+	q.entries[h] = e
+	q.entries[h].next = nilIdx
+	q.link(h)
+	q.head++
+	if q.head == len(q.entries) {
+		q.head = 0
+	}
 	if q.size < len(q.entries) {
 		q.size++
 		return pfEntry{}, false
 	}
 	if old.live && !old.hit {
+		old.next = nilIdx
 		return old, true
 	}
 	return pfEntry{}, false
 }
 
 // match invokes fn for every live, unhit entry predicting `block`, marking
-// each as hit. fn receives the entry and the depth in accesses between the
-// prediction and now.
+// each as hit (and dropping it from the index). fn receives the entry and
+// the depth in accesses between the prediction and now. fn must not mutate
+// the queue.
 func (q *prefetchQueue) match(block int64, nowIndex uint64, fn func(e *pfEntry, depth int)) {
-	for i := range q.entries {
+	b := q.bucket(block)
+	prev := nilIdx
+	for i := *b; i != nilIdx; {
 		e := &q.entries[i]
-		if !e.live || e.hit || e.block != block {
+		next := e.next
+		if e.block != block {
+			prev = i
+			i = next
 			continue
 		}
 		e.hit = true
+		if prev == nilIdx {
+			*b = next
+		} else {
+			q.entries[prev].next = next
+		}
+		e.next = nilIdx
 		fn(e, int(nowIndex-e.index))
+		i = next
 	}
 }
 
 // contains reports whether a live, unhit entry predicts block, and whether
 // any such entry was actually issued to memory.
 func (q *prefetchQueue) contains(block int64) (predicted, issued bool) {
-	for i := range q.entries {
+	for i := *q.bucket(block); i != nilIdx; i = q.entries[i].next {
 		e := &q.entries[i]
-		if e.live && !e.hit && e.block == block {
+		if e.block == block {
 			predicted = true
-			issued = issued || e.issued
+			if e.issued {
+				return true, true
+			}
 		}
 	}
 	return predicted, issued
@@ -77,6 +170,9 @@ func (q *prefetchQueue) contains(block int64) (predicted, issued bool) {
 func (q *prefetchQueue) reset() {
 	for i := range q.entries {
 		q.entries[i] = pfEntry{}
+	}
+	for i := range q.buckets {
+		q.buckets[i] = nilIdx
 	}
 	q.head, q.size = 0, 0
 }

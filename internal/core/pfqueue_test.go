@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"semloc/internal/memmodel"
+	"semloc/internal/stats"
+)
+
+// refQueue is the pre-index reference implementation of the prefetch
+// queue: full linear scans over the ring, exactly as the original hot path
+// did. The differential test below drives it in lockstep with the indexed
+// prefetchQueue to prove the index changes nothing observable — including
+// match order, which feeds the policy's order-sensitive accuracy estimate.
+type refQueue struct {
+	entries []pfEntry
+	head    int
+	size    int
+}
+
+func newRefQueue(depth int) *refQueue { return &refQueue{entries: make([]pfEntry, depth)} }
+
+func (q *refQueue) push(e pfEntry) (expired pfEntry, hasExpired bool) {
+	old := q.entries[q.head]
+	q.entries[q.head] = e
+	q.head = (q.head + 1) % len(q.entries)
+	if q.size < len(q.entries) {
+		q.size++
+		return pfEntry{}, false
+	}
+	if old.live && !old.hit {
+		return old, true
+	}
+	return pfEntry{}, false
+}
+
+func (q *refQueue) match(block int64, nowIndex uint64, fn func(e *pfEntry, depth int)) {
+	for i := range q.entries {
+		e := &q.entries[i]
+		if !e.live || e.hit || e.block != block {
+			continue
+		}
+		e.hit = true
+		fn(e, int(nowIndex-e.index))
+	}
+}
+
+func (q *refQueue) contains(block int64) (predicted, issued bool) {
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.live && !e.hit && e.block == block {
+			predicted = true
+			issued = issued || e.issued
+		}
+	}
+	return predicted, issued
+}
+
+type matchEvent struct {
+	block int64
+	delta int8
+	depth int
+}
+
+// TestPrefetchQueueDifferential drives the indexed queue and the reference
+// scan with an identical random operation stream and requires identical
+// observable behaviour: expiry results, contains results, and the exact
+// sequence (order included) of match callbacks.
+func TestPrefetchQueueDifferential(t *testing.T) {
+	for _, depth := range []int{1, 2, 3, 8, 128} {
+		rng := memmodel.NewRNG(uint64(991 + depth))
+		q := newPrefetchQueue(depth)
+		ref := newRefQueue(depth)
+		// A small block universe forces collisions, duplicate predictions of
+		// the same block, and bucket chains longer than one.
+		const blocks = 24
+		for op := 0; op < 20000; op++ {
+			block := int64(100 + rng.Intn(blocks))
+			switch rng.Intn(4) {
+			case 0, 1: // push
+				e := pfEntry{
+					block:  block,
+					delta:  int8(rng.Intn(40) - 20),
+					index:  uint64(op),
+					issued: rng.Intn(2) == 0,
+					live:   true,
+				}
+				exp1, has1 := q.push(e)
+				exp2, has2 := ref.push(e)
+				exp1.next = 0 // the reference has no chain field
+				exp2.next = 0
+				if has1 != has2 || exp1 != exp2 {
+					t.Fatalf("depth %d op %d: push expiry diverged: %+v/%v vs %+v/%v",
+						depth, op, exp1, has1, exp2, has2)
+				}
+			case 2: // match
+				var got, want []matchEvent
+				q.match(block, uint64(op), func(e *pfEntry, d int) {
+					got = append(got, matchEvent{e.block, e.delta, d})
+				})
+				ref.match(block, uint64(op), func(e *pfEntry, d int) {
+					want = append(want, matchEvent{e.block, e.delta, d})
+				})
+				if len(got) != len(want) {
+					t.Fatalf("depth %d op %d: match count diverged: %d vs %d", depth, op, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("depth %d op %d: match %d diverged: %+v vs %+v", depth, op, i, got[i], want[i])
+					}
+				}
+			case 3: // contains
+				p1, i1 := q.contains(block)
+				p2, i2 := ref.contains(block)
+				if p1 != p2 || i1 != i2 {
+					t.Fatalf("depth %d op %d: contains diverged: %v/%v vs %v/%v", depth, op, p1, i1, p2, i2)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefetchQueueResetClearsIndex ensures reset drops the index too: a
+// block predicted before reset must not match after it.
+func TestPrefetchQueueResetClearsIndex(t *testing.T) {
+	q := newPrefetchQueue(4)
+	q.push(pfEntry{block: 7, live: true})
+	q.reset()
+	if pred, _ := q.contains(7); pred {
+		t.Error("contains found an entry after reset")
+	}
+	q.match(7, 1, func(*pfEntry, int) { t.Error("match fired after reset") })
+	// The queue must be fully usable after reset.
+	q.push(pfEntry{block: 9, live: true, issued: true})
+	if pred, issued := q.contains(9); !pred || !issued {
+		t.Error("queue unusable after reset")
+	}
+}
+
+// TestHitDepthBeyondQueueDepthClamps regresses the sparsely-filled-queue
+// overflow: a queue holding a single entry only expires it after QueueDepth
+// *pushes*, so a demand access can hit it an unbounded number of *accesses*
+// later — the match depth then exceeds the HitDepths histogram sized to
+// QueueDepth and must clamp into the overflow bucket, not panic or drop.
+func TestHitDepthBeyondQueueDepthClamps(t *testing.T) {
+	const depth = 8
+	q := newPrefetchQueue(depth)
+	hd := stats.NewHistogram(depth)
+
+	// One prediction at access index 0; the queue then sits sparsely filled
+	// while 5*depth accesses pass with no further pushes.
+	q.push(pfEntry{block: 42, index: 0, live: true})
+	now := uint64(5 * depth)
+
+	matched := 0
+	q.match(42, now, func(e *pfEntry, d int) {
+		matched++
+		if d != int(now) {
+			t.Errorf("match depth = %d, want %d", d, now)
+		}
+		hd.Add(d) // the OnAccess feedback path
+	})
+	if matched != 1 {
+		t.Fatalf("matched %d entries, want 1", matched)
+	}
+	if got := hd.Count(hd.Max()); got != 1 {
+		t.Errorf("overflow bucket holds %d, want 1 (clamped depth %d)", got, now)
+	}
+	if hd.Total() != 1 {
+		t.Errorf("histogram total = %d, want 1", hd.Total())
+	}
+}

@@ -14,6 +14,8 @@ import (
 const (
 	overloadChurn   = 8
 	coldStreakLimit = 32
+	// churnDecayEvery must stay a power of two: the hot path tests it with
+	// a mask, not a modulo.
 	churnDecayEvery = 4096
 )
 
@@ -179,7 +181,7 @@ func (p *Prefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) {
 	p.index++
 	p.machine.update(a, p.cfg.BlockShift)
 
-	if p.index%churnDecayEvery == 0 {
+	if p.index&(churnDecayEvery-1) == 0 {
 		for i := range p.table.entries {
 			p.table.entries[i].decayChurn()
 		}

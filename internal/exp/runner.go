@@ -49,6 +49,10 @@ type Runner struct {
 	errs    map[string]error
 	inFly   map[string]*sync.WaitGroup
 	sem     chan struct{}
+
+	// traceGenHook, when set, observes each actual generator invocation
+	// (tests use it to assert single-flight).
+	traceGenHook func(workload string)
 }
 
 // NewRunner creates a runner with a background context.
@@ -94,13 +98,62 @@ func (r *Runner) Options() Options { return r.opts }
 // an oversized scale) fails only this workload, and cancelling the
 // runner's context returns promptly even mid-generation (the generator
 // goroutine is abandoned; its result is still memoized if it finishes).
+// Concurrent callers share one generation through the same single-flight
+// path Result uses — without it, every figure touching a workload first
+// would generate its trace redundantly (and large-scale generations would
+// multiply peak heap by the caller count).
 func (r *Runner) Trace(workload string) (*trace.Trace, error) {
+	// Trace keys live in the same inFly/errs maps as Result keys; result
+	// keys always contain "|", so the NUL-tagged form cannot collide.
+	key := workload + "\x00trace"
+
 	r.mu.Lock()
-	if tr, ok := r.traces[workload]; ok {
+	for {
+		if tr, ok := r.traces[workload]; ok {
+			r.mu.Unlock()
+			return tr, nil
+		}
+		if err, ok := r.errs[key]; ok {
+			r.mu.Unlock()
+			return nil, err
+		}
+		wg, running := r.inFly[key]
+		if !running {
+			break
+		}
 		r.mu.Unlock()
-		return tr, nil
+		wg.Wait()
+		r.mu.Lock()
 	}
+	wg := &sync.WaitGroup{}
+	wg.Add(1)
+	r.inFly[key] = wg
 	r.mu.Unlock()
+
+	tr, err := r.generate(workload)
+
+	r.mu.Lock()
+	switch {
+	case err == nil:
+		// generate's goroutine memoized the trace already (it must, so an
+		// abandoned generation still lands); nothing more to store.
+	case harness.IsCancelled(err):
+		// Cancellation is a property of this attempt, not of the workload:
+		// don't memoize it.
+	default:
+		r.errs[key] = err
+	}
+	delete(r.inFly, key)
+	r.mu.Unlock()
+	wg.Done()
+	return tr, err
+}
+
+// generate produces the workload's trace under supervision. The generator
+// runs in its own goroutine so cancellation returns promptly; the goroutine
+// memoizes into r.traces itself so an abandoned generation is kept if it
+// eventually finishes.
+func (r *Runner) generate(workload string) (*trace.Trace, error) {
 	if err := r.ctx.Err(); err != nil {
 		return nil, fmt.Errorf("exp: generating %s: %w", workload, context.Cause(r.ctx))
 	}
@@ -108,13 +161,17 @@ func (r *Runner) Trace(workload string) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.traceGenHook != nil {
+		r.traceGenHook(workload)
+	}
 	done := make(chan error, 1)
 	var tr *trace.Trace
 	go func() {
 		done <- harness.Safely(func() error {
 			gen := w.Generate(workloads.GenConfig{Scale: r.opts.Scale, Seed: r.opts.Seed})
 			r.mu.Lock()
-			// Another goroutine may have generated it meanwhile; keep the first.
+			// An abandoned earlier generation may have landed meanwhile;
+			// keep the first.
 			if existing, ok := r.traces[workload]; ok {
 				gen = existing
 			} else {

@@ -3,9 +3,12 @@ package exp
 import (
 	"context"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"semloc/internal/harness"
+	"semloc/internal/trace"
 )
 
 func TestResultsForJoinsAllErrors(t *testing.T) {
@@ -40,5 +43,67 @@ func TestRunnerCancelledContext(t *testing.T) {
 	r2 := tinyRunner()
 	if _, err := r2.Result("array", "none"); err != nil {
 		t.Errorf("fresh runner failed after cancelled one: %v", err)
+	}
+}
+
+// TestTraceSingleFlight regresses the duplicated-generation bug: Result
+// always went through a single-flight guard, but Trace did not — N
+// concurrent callers racing on a cold workload each ran the generator,
+// multiplying work and peak heap by N. All concurrent callers must share
+// one generation and receive the same memoized trace.
+func TestTraceSingleFlight(t *testing.T) {
+	const callers = 16
+	r := tinyRunner()
+	var gens atomic.Int32
+	r.traceGenHook = func(string) { gens.Add(1) }
+
+	var wg sync.WaitGroup
+	traces := make([]*trace.Trace, callers)
+	errs := make([]error, callers)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			traces[i], errs[i] = r.Trace("list")
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if traces[i] == nil || traces[i] != traces[0] {
+			t.Fatalf("caller %d got a different trace pointer", i)
+		}
+	}
+	if n := gens.Load(); n != 1 {
+		t.Errorf("generator ran %d times for %d concurrent callers, want 1", n, callers)
+	}
+	// A later call still hits the memoized trace, not the generator.
+	if _, err := r.Trace("list"); err != nil {
+		t.Fatal(err)
+	}
+	if n := gens.Load(); n != 1 {
+		t.Errorf("generator re-ran on a warm cache (%d runs)", n)
+	}
+}
+
+// TestTraceErrorMemoized ensures a failed generation is remembered like a
+// failed result: the unknown-workload error returns consistently without
+// re-entering the lookup each time through a fresh in-flight slot.
+func TestTraceErrorMemoized(t *testing.T) {
+	r := tinyRunner()
+	_, err1 := r.Trace("no-such-workload")
+	if err1 == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	_, err2 := r.Trace("no-such-workload")
+	if err2 == nil {
+		t.Fatal("expected memoized error for unknown workload")
 	}
 }

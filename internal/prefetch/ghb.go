@@ -176,7 +176,10 @@ func (g *GHB) OnAccess(a *Access, iss Issuer) {
 		return
 	}
 	// deltas[i] = lines[i] - lines[i+1]; deltas[0] is the most recent.
-	deltas := make([]int64, n-1)
+	// Fixed-size backing array: a make() here would heap-allocate on every
+	// trained access (n is capped at maxWalk).
+	var deltaBuf [maxWalk - 1]int64
+	deltas := deltaBuf[:n-1]
 	for i := 0; i < n-1; i++ {
 		deltas[i] = lines[i].Delta(lines[i+1])
 	}

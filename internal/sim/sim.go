@@ -180,6 +180,10 @@ type adapter struct {
 	cats      Categories
 	hitDepths *stats.Histogram
 	predLog   *predictionLog
+	// acc is the Access scratch passed to the prefetcher each call; a local
+	// would escape through the interface call and allocate per access.
+	// Prefetchers must not retain the pointer past OnAccess.
+	acc prefetch.Access
 }
 
 var _ cpu.Memory = (*adapter)(nil)
@@ -218,7 +222,7 @@ func (m *adapter) Access(rec *trace.Record, now cache.Cycle) cache.Cycle {
 		hist = m.hists[m.cursor]
 	}
 	m.cursor++
-	a := prefetch.Access{
+	m.acc = prefetch.Access{
 		PC:         rec.PC,
 		Addr:       rec.Addr,
 		Line:       line,
@@ -231,7 +235,7 @@ func (m *adapter) Access(rec *trace.Record, now cache.Cycle) cache.Cycle {
 		BranchHist: hist,
 		Hints:      rec.Hints,
 	}
-	m.pf.OnAccess(&a, m)
+	m.pf.OnAccess(&m.acc, m)
 	m.accessIdx++
 	// Stores also return their fill time: the core uses it only for store
 	// buffer occupancy and (rare) store-to-load value dependencies, never

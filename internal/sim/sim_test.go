@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"semloc/internal/core"
@@ -273,5 +275,46 @@ func TestOracleBoundsContext(t *testing.T) {
 	}
 	if sc > so*1.05 {
 		t.Errorf("context (%.2f) should not exceed the oracle bound (%.2f)", sc, so)
+	}
+}
+
+// TestGoldenDeterminism is the full-strength version of TestDeterminism:
+// two runs of the same (workload, prefetcher, seed) must produce a
+// byte-identical Result — every field, including the HitDepths histogram
+// buckets and both cache levels, serialized and compared as bytes. This is
+// the contract that lets hot-path rewrites be verified by before/after
+// result comparison: any nondeterminism (map iteration, pointer hashing,
+// time dependence) or reordering of policy feedback shows up here.
+func TestGoldenDeterminism(t *testing.T) {
+	dump := func(r *Result) string {
+		return fmt.Sprintf("%+v|cpu=%+v|l1=%+v|l2=%+v|cats=%+v|hd=%d,%v",
+			r.Workload+"/"+r.Prefetcher, r.CPU, r.L1, r.L2, r.Categories,
+			r.HitDepths.Total(), r.HitDepths.CDF())
+	}
+	for _, wl := range []string{"list", "mcf"} {
+		for _, mk := range []struct {
+			name string
+			pf   func() prefetch.Prefetcher
+		}{
+			{"none", func() prefetch.Prefetcher { return prefetch.NewNone() }},
+			{"context", func() prefetch.Prefetcher { return core.MustNew(core.DefaultConfig()) }},
+		} {
+			tr := genTrace(t, wl, 0.05)
+			run := func() *Result {
+				res, err := Run(tr, mk.pf(), DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s/%s: results differ structurally", wl, mk.name)
+			}
+			da, db := dump(a), dump(b)
+			if da != db {
+				t.Errorf("%s/%s: serialized results differ:\n%s\n%s", wl, mk.name, da, db)
+			}
+		}
 	}
 }

@@ -154,26 +154,55 @@ func Write(w io.Writer, t *Trace) error {
 // Read deserializes a complete trace written by Write (or WriteGzip),
 // delegating to the streaming Reader.
 func Read(r io.Reader) (*Trace, error) {
-	sr, err := NewReader(r)
-	if err != nil {
+	t := &Trace{}
+	if err := ReadInto(r, t); err != nil {
 		return nil, err
 	}
+	return t, nil
+}
+
+// ReadInto deserializes a complete trace into t, reusing t's record buffer
+// when it is large enough. Decode loops that replay many traces (the
+// benchmark pipeline, sweep tools) can hold one Trace and pay the record
+// allocation only once.
+func ReadInto(r io.Reader, t *Trace) error {
+	sr, err := NewReader(r)
+	if err != nil {
+		return err
+	}
+	return sr.ReadAll(t)
+}
+
+// ReadAll decodes every remaining record into t, reusing t's record
+// buffer when possible. Combined with Reset, it gives an allocation-free
+// steady-state decode loop over many traces.
+func (sr *Reader) ReadAll(t *Trace) error {
 	// Cap the initial allocation: the header's count is untrusted until
 	// the records actually decode.
 	capacity := sr.Len()
 	if capacity > 1<<20 {
 		capacity = 1 << 20
 	}
-	t := &Trace{Name: sr.Name(), Records: make([]Record, 0, capacity)}
-	var rec Record
-	for {
-		if err := sr.Next(&rec); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, err
-		}
-		t.Records = append(t.Records, rec)
+	t.Name = sr.Name()
+	if cap(t.Records) < capacity {
+		t.Records = make([]Record, 0, capacity)
+	} else {
+		t.Records = t.Records[:0]
 	}
-	return t, nil
+	for {
+		n := len(t.Records)
+		if n == cap(t.Records) {
+			t.Records = append(t.Records, Record{})
+		} else {
+			t.Records = t.Records[:n+1]
+		}
+		// Decode straight into the slice's next slot: no per-record copy.
+		if err := sr.Next(&t.Records[n]); err != nil {
+			t.Records = t.Records[:n]
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
 }

@@ -13,9 +13,14 @@ import (
 // Reader streams records from a binary trace without materializing the
 // whole trace, so multi-gigabyte traces can be replayed with constant
 // memory. It transparently handles gzip-compressed traces (as written by
-// tracegen -gzip).
+// tracegen -gzip). A Reader can be Reset onto a new stream, reusing its
+// internal buffers, so decode loops that replay many traces allocate only
+// on the first.
 type Reader struct {
-	br      *bufio.Reader
+	raw     *bufio.Reader // over the source stream
+	zr      *gzip.Reader  // lazily created, reused across Resets
+	zbr     *bufio.Reader // over zr when the stream is compressed
+	br      *bufio.Reader // decode stream: raw or zbr
 	name    string
 	total   uint64
 	read    uint64
@@ -24,52 +29,92 @@ type Reader struct {
 	// loadBits marks which past records were loads, so dependency
 	// references can be verified during streaming decode.
 	loadBits []uint64
+	magicBuf [len(magic)]byte
+	nameBuf  []byte
 }
 
 // NewReader parses the trace header and returns a streaming reader.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
+	rd := &Reader{}
+	if err := rd.Reset(r); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// Reset re-initializes the reader to stream a new trace from src, parsing
+// its header. Internal buffers (bufio windows, the gzip inflater, the
+// dependency bitmap) are reused, so resetting is allocation-free in steady
+// state.
+func (r *Reader) Reset(src io.Reader) error {
+	if r.raw == nil {
+		r.raw = bufio.NewReader(src)
+	} else {
+		r.raw.Reset(src)
+	}
+	r.br = r.raw
 	// Transparent gzip: sniff the two-byte magic.
-	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
-		gz, err := gzip.NewReader(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+	if head, err := r.raw.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		if r.zr == nil {
+			gz, err := gzip.NewReader(r.raw)
+			if err != nil {
+				return fmt.Errorf("trace: opening gzip stream: %w", err)
+			}
+			r.zr = gz
+			r.zbr = bufio.NewReader(gz)
+		} else {
+			if err := r.zr.Reset(r.raw); err != nil {
+				return fmt.Errorf("trace: opening gzip stream: %w", err)
+			}
+			r.zbr.Reset(r.zr)
 		}
-		br = bufio.NewReader(gz)
+		r.br = r.zbr
 	}
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	r.read, r.prevPC, r.prevAdr = 0, 0, 0
+	for i := range r.loadBits {
+		r.loadBits[i] = 0
 	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", head)
+	return r.readHeader()
+}
+
+func (r *Reader) readHeader() error {
+	if _, err := io.ReadFull(r.br, r.magicBuf[:]); err != nil {
+		return fmt.Errorf("trace: reading magic: %w", err)
 	}
-	ver, err := binary.ReadUvarint(br)
+	if string(r.magicBuf[:]) != magic {
+		return fmt.Errorf("trace: bad magic %q", r.magicBuf)
+	}
+	ver, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading version: %w", err)
+		return fmt.Errorf("trace: reading version: %w", err)
 	}
 	if ver != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+		return fmt.Errorf("trace: unsupported version %d", ver)
 	}
-	nameLen, err := binary.ReadUvarint(br)
+	nameLen, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
+		return fmt.Errorf("trace: reading name length: %w", err)
 	}
 	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+		return fmt.Errorf("trace: unreasonable name length %d", nameLen)
 	}
-	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
+	if uint64(cap(r.nameBuf)) < nameLen {
+		r.nameBuf = make([]byte, nameLen)
 	}
-	count, err := binary.ReadUvarint(br)
+	r.nameBuf = r.nameBuf[:nameLen]
+	if _, err := io.ReadFull(r.br, r.nameBuf); err != nil {
+		return fmt.Errorf("trace: reading name: %w", err)
+	}
+	r.name = string(r.nameBuf)
+	count, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return fmt.Errorf("trace: reading count: %w", err)
 	}
 	if count > MaxTraceBytes/minRecordBytes {
-		return nil, fmt.Errorf("trace: record count %d implies a trace beyond the %d-byte limit", count, MaxTraceBytes)
+		return fmt.Errorf("trace: record count %d implies a trace beyond the %d-byte limit", count, MaxTraceBytes)
 	}
-	return &Reader{br: br, name: string(nameBuf), total: count}, nil
+	r.total = count
+	return nil
 }
 
 // MaxTraceBytes bounds the trace size a header's record count may imply
