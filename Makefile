@@ -2,12 +2,13 @@
 # full gate: vet + build + race-enabled tests + a short fuzz run of the
 # trace decoder (seed corpus under internal/trace/testdata/fuzz/) + a
 # quick-mode benchmark smoke that fails unless cmd/bench produces a
-# well-formed report.
+# well-formed report + an overhead guard that pins the disabled-telemetry
+# hot path at zero allocations per access.
 
 GO ?= go
 BENCH_N ?= 2
 
-.PHONY: all vet build test race fuzz bench bench-smoke check clean
+.PHONY: all vet build test race fuzz bench bench-smoke overhead-guard check clean
 
 all: build
 
@@ -38,8 +39,25 @@ bench-smoke:
 	$(GO) run ./cmd/bench -quick -out .bench-smoke.json
 	rm -f .bench-smoke.json
 
-check: vet build race fuzz bench-smoke
+# overhead-guard pins the telemetry overhead contract (DESIGN.md §11):
+# with telemetry disabled, core.Prefetcher.OnAccess must stay at
+# 0 allocs/op and within noise of the BENCH_2-era baseline (~320 ns/op
+# on the reference machine). The ns/op ceiling is deliberately loose to
+# absorb machine variance while still catching a hook that adds real
+# per-access work.
+OVERHEAD_NS_CEILING ?= 900
+overhead-guard:
+	$(GO) test -run '^$$' -bench '^BenchmarkOnAccess$$' -benchmem ./internal/core | tee .overhead-guard.txt
+	awk -v ceil=$(OVERHEAD_NS_CEILING) \
+		'/^BenchmarkOnAccess(-[0-9]+)?[ \t]/ { found=1; \
+		   if ($$7+0 != 0) { print "overhead-guard: "$$7" allocs/op on the disabled-telemetry hot path (want 0)"; exit 1 }; \
+		   if ($$3+0 > ceil) { print "overhead-guard: "$$3" ns/op exceeds ceiling "ceil; exit 1 } } \
+		 END { if (!found) { print "overhead-guard: BenchmarkOnAccess missing from output"; exit 1 } }' \
+		.overhead-guard.txt
+	rm -f .overhead-guard.txt
+
+check: vet build race fuzz bench-smoke overhead-guard
 
 clean:
-	rm -f .bench-smoke.json
+	rm -f .bench-smoke.json .overhead-guard.txt
 	$(GO) clean ./...

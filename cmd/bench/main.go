@@ -9,6 +9,10 @@
 //	bench                       # full matrix, writes BENCH_<n>.json
 //	bench -quick -out /tmp/b.json   # tiny smoke matrix (make check)
 //	bench -scale 0.5 -n 3       # custom scale, bench sequence number 3
+//	bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Progress and diagnostics go to stderr as structured logs (-q silences
+// them; -v adds per-entry measurements).
 //
 // The report is validated after writing (re-read, re-parsed, sanity
 // checked); a report that cannot be produced or fails validation exits
@@ -30,6 +34,7 @@ import (
 
 	"semloc/internal/exp"
 	"semloc/internal/harness"
+	"semloc/internal/obs"
 )
 
 // benchSeq is the default sequence number of the report this source tree
@@ -244,13 +249,29 @@ func run() int {
 		out     = flag.String("out", "", "output path (default BENCH_<n>.json)")
 		wls     = flag.String("workloads", "", "comma-separated workloads (default: fixed matrix)")
 		pfs     = flag.String("prefetchers", "", "comma-separated prefetchers (default: fixed matrix)")
-		verbose = flag.Bool("v", false, "print per-entry measurements to stderr")
+		verbose = flag.Bool("v", false, "log per-entry measurements")
+		quiet   = flag.Bool("q", false, "suppress progress logging (errors still print)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "bench", *quiet, *verbose)
 	if flag.NArg() > 0 {
-		fmt.Fprintln(os.Stderr, "bench: unexpected arguments:", flag.Args())
+		logger.Error("unexpected arguments", "args", flag.Args())
 		return harness.ExitUsage
 	}
+
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		logger.Error("starting profiles", "err", err)
+		return harness.ExitRunFailed
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			logger.Error("writing profiles", "err", err)
+		}
+	}()
 
 	m := DefaultMatrix()
 	if *quick {
@@ -268,7 +289,7 @@ func run() int {
 		m.Prefetchers = splitList(*pfs)
 	}
 	if len(m.Workloads) == 0 || len(m.Prefetchers) == 0 {
-		fmt.Fprintln(os.Stderr, "bench: empty workload or prefetcher matrix")
+		logger.Error("empty workload or prefetcher matrix")
 		return harness.ExitUsage
 	}
 	path := *out
@@ -279,24 +300,24 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	logger.Info("starting", "workloads", len(m.Workloads), "prefetchers", len(m.Prefetchers),
+		"scale", m.Scale, "out", path)
 	rep, err := Run(ctx, m)
 	if err != nil {
 		if harness.IsCancelled(err) || ctx.Err() != nil {
-			fmt.Fprintln(os.Stderr, "bench: cancelled:", err)
+			logger.Error("cancelled", "err", err)
 			return harness.ExitCancelled
 		}
-		fmt.Fprintln(os.Stderr, "bench:", err)
+		logger.Error("benchmark failed", "err", err)
 		return harness.ExitRunFailed
 	}
-	if *verbose {
-		for _, e := range rep.Entries {
-			fmt.Fprintf(os.Stderr, "bench: %-14s %-8s %8.1f ns/access %6.3f allocs/access %8s wall\n",
-				e.Workload, e.Prefetcher, e.NSPerAccess, e.AllocsPerAccess,
-				time.Duration(e.WallNS).Round(time.Millisecond))
-		}
+	for _, e := range rep.Entries {
+		logger.Debug("entry measured", "workload", e.Workload, "prefetcher", e.Prefetcher,
+			"ns_per_access", e.NSPerAccess, "allocs_per_access", e.AllocsPerAccess,
+			"duration", time.Duration(e.WallNS).Round(time.Millisecond))
 	}
 	if err := WriteAndVerify(rep, m, path); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
+		logger.Error("report failed verification", "err", err)
 		return harness.ExitRunFailed
 	}
 	fmt.Printf("bench: wrote %s (%d entries, total sim wall %v)\n",

@@ -6,6 +6,14 @@
 //	experiments -run fig12      # one experiment
 //	experiments -run fig12,fig14 -scale 0.5
 //	experiments -list           # list experiment ids
+//	experiments -run fig12 -obs-dir results/obs -obs-interval 4096 -obs-rate 64
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Tables and figures go to stdout; progress and diagnostics go to stderr
+// as structured logs (-q silences them). -obs-dir persists one JSON
+// artifact per (workload, prefetcher) run — result, final metrics,
+// learned-state summary, telemetry series — plus a decision trace when
+// -obs-rate is set; render them with cmd/inspect.
 //
 // SIGINT/SIGTERM cancel in-flight simulations; results already printed
 // stand. Exit codes: 0 all experiments completed, 1 at least one
@@ -25,20 +33,28 @@ import (
 
 	"semloc/internal/exp"
 	"semloc/internal/harness"
+	"semloc/internal/obs"
 )
 
 func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		runIDs = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		scale  = flag.Float64("scale", 1, "workload scale factor")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		list   = flag.Bool("list", false, "list experiment ids")
-		par    = flag.Int("parallel", 0, "max concurrent simulations (default GOMAXPROCS)")
-		stall  = flag.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
+		runIDs     = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		scale      = flag.Float64("scale", 1, "workload scale factor")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		list       = flag.Bool("list", false, "list experiment ids")
+		par        = flag.Int("parallel", 0, "max concurrent simulations (default GOMAXPROCS)")
+		stall      = flag.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
+		quiet      = flag.Bool("q", false, "suppress progress logging (errors still print)")
+		obsDir     = flag.String("obs-dir", "", "persist per-run telemetry artifacts into this directory")
+		obsIvl     = flag.Uint64("obs-interval", 0, "sample time-series metrics every N demand accesses (0 disables; requires -obs-dir)")
+		obsRate    = flag.Uint64("obs-rate", 0, "trace one in N prefetch decisions to a JSONL file (0 disables; requires -obs-dir)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "experiments", *quiet, false)
 
 	if *list {
 		for _, e := range exp.Experiments() {
@@ -46,6 +62,21 @@ func run() int {
 		}
 		return harness.ExitOK
 	}
+	if (*obsIvl > 0 || *obsRate > 0) && *obsDir == "" {
+		logger.Error("-obs-interval/-obs-rate need -obs-dir to land anywhere")
+		return harness.ExitUsage
+	}
+
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		logger.Error("starting profiles", "err", err)
+		return harness.ExitRunFailed
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			logger.Error("writing profiles", "err", err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -55,6 +86,16 @@ func run() int {
 	opts.Seed = *seed
 	opts.Parallelism = *par
 	opts.Harness = harness.RunConfig{StallTimeout: *stall}
+	opts.OutDir = *obsDir
+	if *obsDir != "" {
+		ivl := *obsIvl
+		if ivl == 0 && *obsRate == 0 {
+			// -obs-dir alone still means "observe": default the interval so
+			// artifacts carry a learning curve.
+			ivl = obs.DefaultInterval
+		}
+		opts.Telemetry = obs.Config{Interval: ivl, DecisionRate: *obsRate}
+	}
 	runner := exp.NewRunnerContext(ctx, opts)
 
 	var selected []exp.Experiment
@@ -64,12 +105,14 @@ func run() int {
 		for _, id := range strings.Split(*runIDs, ",") {
 			e, err := exp.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
+				logger.Error("unknown experiment", "err", err)
 				return harness.ExitUsage
 			}
 			selected = append(selected, e)
 		}
 	}
+	logger.Info("starting", "experiments", len(selected), "scale", *scale, "seed", *seed,
+		"obs_dir", *obsDir)
 
 	completed, failed := 0, 0
 	for i, e := range selected {
@@ -87,22 +130,24 @@ func run() int {
 			}
 			// One failing experiment (bad pair, watchdog abort, recovered
 			// panic) doesn't kill the sweep: report it and move on.
-			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			logger.Error("experiment failed", "id", e.ID, "err", err)
 			failed++
 			continue
 		}
 		completed++
-		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		logger.Info("experiment completed", "id", e.ID,
+			"duration", time.Since(start).Round(time.Millisecond))
 	}
 
 	if ctx.Err() != nil {
-		fmt.Fprintf(os.Stderr, "experiments: cancelled after %d of %d experiments; partial results above\n",
-			completed, len(selected))
+		logger.Error("cancelled; partial results above",
+			"completed", completed, "selected", len(selected))
 		return harness.ExitCancelled
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", failed, len(selected))
+		logger.Error("experiments failed", "failed", failed, "selected", len(selected))
 		return harness.ExitRunFailed
 	}
+	logger.Info("done", "completed", completed)
 	return harness.ExitOK
 }

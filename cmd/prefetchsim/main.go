@@ -10,8 +10,10 @@
 //	prefetchsim -list             # list available workloads
 //
 // SIGINT/SIGTERM cancel in-flight simulations; the partial table is
-// printed. Exit codes: 0 all runs completed, 1 at least one run failed,
-// 2 usage error, 3 cancelled (see DESIGN.md, "Failure model").
+// printed. Tables go to stdout; progress and diagnostics go to stderr as
+// structured logs (-q silences them). Exit codes: 0 all runs completed,
+// 1 at least one run failed, 2 usage error, 3 cancelled (see DESIGN.md,
+// "Failure model").
 package main
 
 import (
@@ -22,9 +24,11 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"semloc/internal/exp"
 	"semloc/internal/harness"
+	"semloc/internal/obs"
 	"semloc/internal/prefetch"
 	"semloc/internal/stats"
 	"semloc/internal/trace"
@@ -44,8 +48,10 @@ func run() int {
 		verbose     = flag.Bool("v", false, "print access-category breakdown")
 		configPath  = flag.String("config", "", "JSON machine/prefetcher config (see exp.FileConfig)")
 		stall       = flag.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
+		quiet       = flag.Bool("q", false, "suppress progress logging (errors still print)")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "prefetchsim", *quiet, false)
 
 	if *list {
 		tb := stats.NewTable("workloads (Table 3)", "name", "suite", "irregular", "description")
@@ -56,7 +62,7 @@ func run() int {
 		return harness.ExitOK
 	}
 	if *workload == "" && *traceFile == "" {
-		fmt.Fprintln(os.Stderr, "prefetchsim: -workload or -trace required (or -list)")
+		logger.Error("-workload or -trace required (or -list)")
 		return harness.ExitUsage
 	}
 
@@ -67,19 +73,19 @@ func run() int {
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+			logger.Error("opening trace", "err", err)
 			return harness.ExitRunFailed
 		}
 		tr, err = trace.Read(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prefetchsim: reading trace:", err)
+			logger.Error("reading trace", "path", *traceFile, "err", err)
 			return harness.ExitRunFailed
 		}
 	} else {
 		w, err := workloads.ByName(*workload)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+			logger.Error("unknown workload", "err", err)
 			return harness.ExitUsage
 		}
 		// Generation can panic (heap exhaustion on an oversized scale);
@@ -88,7 +94,7 @@ func run() int {
 			tr = w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
 			return nil
 		}); err != nil {
-			fmt.Fprintf(os.Stderr, "prefetchsim: generating %s: %v\n", *workload, err)
+			logger.Error("generating workload", "workload", *workload, "err", err)
 			return harness.ExitRunFailed
 		}
 	}
@@ -101,7 +107,7 @@ func run() int {
 		var err error
 		fc, err = exp.LoadConfig(*configPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+			logger.Error("loading config", "path", *configPath, "err", err)
 			return harness.ExitUsage
 		}
 	}
@@ -125,9 +131,10 @@ func run() int {
 			pf, err = exp.NewPrefetcherWith(name, fc)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+			logger.Error("building prefetcher", "prefetcher", name, "err", err)
 			return harness.ExitUsage
 		}
+		start := time.Now()
 		res, err := harness.Run(ctx, tr, pf, cfg, rc)
 		if err != nil {
 			if harness.IsCancelled(err) {
@@ -136,10 +143,12 @@ func run() int {
 			}
 			// One bad (workload, prefetcher) pair fails its run without
 			// killing the rest of the comparison.
-			fmt.Fprintf(os.Stderr, "prefetchsim: %s failed: %v\n", name, err)
+			logger.Error("run failed", "prefetcher", name, "err", err)
 			failed++
 			continue
 		}
+		logger.Info("run complete", "workload", tr.Name, "prefetcher", name,
+			"duration", time.Since(start).Round(time.Millisecond))
 		if name == "none" {
 			baseIPC = res.IPC()
 		}
@@ -166,7 +175,7 @@ func run() int {
 	}
 	switch {
 	case cancelled:
-		fmt.Fprintln(os.Stderr, "prefetchsim: cancelled; partial results above")
+		logger.Error("cancelled; partial results above")
 		return harness.ExitCancelled
 	case failed > 0:
 		return harness.ExitRunFailed

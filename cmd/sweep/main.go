@@ -11,8 +11,10 @@
 // Every -values entry is parsed and validated up front, before the
 // expensive baseline simulation, so a typo in the last value fails fast.
 // SIGINT/SIGTERM cancel in-flight simulations; the partial table is
-// printed. Exit codes: 0 completed, 1 a run failed, 2 usage error,
-// 3 cancelled (see DESIGN.md, "Failure model").
+// printed. The result table goes to stdout; progress and diagnostics go
+// to stderr as structured logs (-q silences them). Exit codes:
+// 0 completed, 1 a run failed, 2 usage error, 3 cancelled (see DESIGN.md,
+// "Failure model").
 package main
 
 import (
@@ -25,9 +27,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"semloc/internal/core"
 	"semloc/internal/harness"
+	"semloc/internal/obs"
 	"semloc/internal/prefetch"
 	"semloc/internal/sim"
 	"semloc/internal/stats"
@@ -144,8 +148,10 @@ func run() int {
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		list      = flag.Bool("params", false, "list sweepable parameters")
 		stall     = flag.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
+		quiet     = flag.Bool("q", false, "suppress progress logging (errors still print)")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "sweep", *quiet, false)
 
 	if *list {
 		sort.Slice(params, func(i, j int) bool { return params[i].name < params[j].name })
@@ -156,22 +162,22 @@ func run() int {
 	}
 	p, ok := findParam(*paramName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q (see -params)\n", *paramName)
+		logger.Error("unknown parameter (see -params)", "param", *paramName)
 		return harness.ExitUsage
 	}
 	if *values == "" {
-		fmt.Fprintln(os.Stderr, "sweep: -values required")
+		logger.Error("-values required")
 		return harness.ExitUsage
 	}
 	// Validate every value before paying for the baseline simulation.
 	points, err := validateValues(p, *values)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
+		logger.Error("invalid sweep values", "err", err)
 		return harness.ExitUsage
 	}
 	w, err := workloads.ByName(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
+		logger.Error("unknown workload", "err", err)
 		return harness.ExitUsage
 	}
 
@@ -184,20 +190,23 @@ func run() int {
 		tr = w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
 		return nil
 	}); err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: generating %s: %v\n", *workload, err)
+		logger.Error("generating workload", "workload", *workload, "err", err)
 		return harness.ExitRunFailed
 	}
 	machine := sim.DefaultConfig()
 
+	start := time.Now()
 	base, err := harness.Run(ctx, tr, prefetch.NewNone(), machine, rc)
 	if err != nil {
 		if harness.IsCancelled(err) {
-			fmt.Fprintln(os.Stderr, "sweep: cancelled")
+			logger.Error("cancelled")
 			return harness.ExitCancelled
 		}
-		fmt.Fprintln(os.Stderr, "sweep:", err)
+		logger.Error("baseline run failed", "err", err)
 		return harness.ExitRunFailed
 	}
+	logger.Info("baseline complete", "workload", *workload, "prefetcher", "none",
+		"duration", time.Since(start).Round(time.Millisecond))
 
 	tb := stats.NewTable(
 		fmt.Sprintf("sweep %s over %s on %s (scale %g)", *paramName, *values, *workload, *scale),
@@ -211,19 +220,22 @@ func run() int {
 		pf, err := core.New(pt.cfg)
 		if err != nil {
 			// Validated above, so this indicates a bug; still report cleanly.
-			fmt.Fprintf(os.Stderr, "sweep: value %q: %v\n", pt.value, err)
+			logger.Error("building prefetcher", "value", pt.value, "err", err)
 			return harness.ExitUsage
 		}
+		start := time.Now()
 		res, err := harness.Run(ctx, tr, pf, machine, rc)
 		if err != nil {
 			if harness.IsCancelled(err) {
 				cancelled = true
 				break
 			}
-			fmt.Fprintf(os.Stderr, "sweep: value %q failed: %v\n", pt.value, err)
+			logger.Error("sweep point failed", "value", pt.value, "err", err)
 			failed++
 			continue
 		}
+		logger.Info("sweep point complete", "workload", *workload, "param", *paramName,
+			"value", pt.value, "duration", time.Since(start).Round(time.Millisecond))
 		m := pf.Metrics()
 		tb.AddRow(pt.value, res.IPC()/base.IPC(), res.IPC(), res.L1MPKI(), pf.Accuracy(),
 			m.RealPrefetches, fmt.Sprintf("%dkB", pt.cfg.StorageBytes()>>10))
@@ -231,7 +243,7 @@ func run() int {
 	tb.Render(os.Stdout)
 	switch {
 	case cancelled:
-		fmt.Fprintln(os.Stderr, "sweep: cancelled; partial results above")
+		logger.Error("cancelled; partial results above")
 		return harness.ExitCancelled
 	case failed > 0:
 		return harness.ExitRunFailed

@@ -61,3 +61,91 @@ func TestDumpCST(t *testing.T) {
 		t.Errorf("missing entry lines:\n%s", out)
 	}
 }
+
+// plant installs a valid CST entry at idx with the given links, bypassing
+// the learning path so edge-case table shapes are exact.
+func plant(p *Prefetcher, idx int, links ...link) {
+	e := &p.table.entries[idx]
+	e.valid = true
+	e.tag = uint8(idx)
+	e.links = e.links[:0]
+	e.links = append(e.links, links...)
+}
+
+func TestInspectSaturatedLinks(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	plant(p, 0,
+		link{delta: 1, score: 127, used: true},
+		link{delta: 2, score: 127, used: true},
+		link{delta: 3, score: 50, used: true},
+		link{delta: 4, score: -10, used: true})
+	plant(p, 1, link{delta: 1, score: 127, used: true})
+	st := p.Inspect()
+	if st.Entries != 2 || st.Links != 5 {
+		t.Fatalf("entries/links = %d/%d, want 2/5", st.Entries, st.Links)
+	}
+	if st.SaturatedLinks != 3 {
+		t.Errorf("SaturatedLinks = %d, want 3", st.SaturatedLinks)
+	}
+	// Saturated links are positive links too; the ceiling is not a
+	// separate category.
+	if st.PositiveLinks != 4 {
+		t.Errorf("PositiveLinks = %d, want 4", st.PositiveLinks)
+	}
+	want := float64(127+127+50-10+127) / 5
+	if st.MeanScore != want {
+		t.Errorf("MeanScore = %v, want %v", st.MeanScore, want)
+	}
+}
+
+// TestInspectValidEntryWithNoUsedLinks pins the Entries definition: a
+// valid entry whose links are all unused holds no candidates and must not
+// count as populated.
+func TestInspectValidEntryWithNoUsedLinks(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	plant(p, 0, link{delta: 7, used: false})
+	st := p.Inspect()
+	if st.Entries != 0 || st.Links != 0 {
+		t.Errorf("candidate-free entry counted: %+v", st)
+	}
+}
+
+func TestTopDeltasTieBreaking(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	// delta +5 twice, deltas -3 and +9 once each: the tie between -3 and
+	// +9 must break toward the smaller delta, deterministically.
+	plant(p, 0,
+		link{delta: 5, score: 1, used: true},
+		link{delta: 9, score: 1, used: true})
+	plant(p, 1,
+		link{delta: 5, score: 1, used: true},
+		link{delta: -3, score: 1, used: true})
+	st := p.Inspect()
+	want := []DeltaCount{{Delta: 5, Count: 2}, {Delta: -3, Count: 1}, {Delta: 9, Count: 1}}
+	if len(st.TopDeltas) != len(want) {
+		t.Fatalf("TopDeltas = %+v, want %+v", st.TopDeltas, want)
+	}
+	for i := range want {
+		if st.TopDeltas[i] != want[i] {
+			t.Fatalf("TopDeltas[%d] = %+v, want %+v", i, st.TopDeltas[i], want[i])
+		}
+	}
+}
+
+func TestTopDeltasCapAtEight(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	// Twelve distinct deltas, all tied at count 1: exactly eight survive,
+	// and by the tie rule they are the eight smallest.
+	for i := 0; i < 12; i++ {
+		plant(p, i, link{delta: int8(i + 1), score: 1, used: true})
+	}
+	st := p.Inspect()
+	if len(st.TopDeltas) != 8 {
+		t.Fatalf("TopDeltas length %d, want 8", len(st.TopDeltas))
+	}
+	for i, d := range st.TopDeltas {
+		if d.Delta != int8(i+1) || d.Count != 1 {
+			t.Fatalf("TopDeltas[%d] = %+v, want {%d 1}", i, d, i+1)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"semloc/internal/memmodel"
+	"semloc/internal/obs"
 	"semloc/internal/prefetch"
 	"semloc/internal/stats"
 )
@@ -54,6 +55,10 @@ type Prefetcher struct {
 	index   uint64 // demand access counter
 	metrics Metrics
 	candBuf []int
+	// obs, when non-nil, receives sampled decision/reward/expire events
+	// and interval snapshots (see telemetry.go). nil costs one branch per
+	// hook site and nothing else.
+	obs *obs.Collector
 }
 
 var _ prefetch.Prefetcher = (*Prefetcher)(nil)
@@ -131,6 +136,9 @@ func (p *Prefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) {
 		if entry := p.table.lookup(e.key); entry != nil {
 			entry.reward(e.delta, r)
 		}
+		if p.obs != nil {
+			p.traceReward(e.key, e.delta, r, depth, e.issued)
+		}
 		// The policy's accuracy estimate tracks the hit rate of actual
 		// prefetches (§5); shadow training does not throttle the degree.
 		if e.issued {
@@ -201,7 +209,10 @@ func (p *Prefetcher) predict(entry *cstEntry, key cstKey, block int64, a *prefet
 	entry.noteTrial()
 	if !p.cfg.DisableShadow {
 		if li := p.policy.exploreChoice(p.cfg.Policy, entry, cands); li >= 0 {
-			p.enqueue(entry.links[li].delta, key, block, a, iss, false)
+			real := p.enqueue(entry.links[li].delta, key, block, a, iss, false)
+			if p.obs != nil {
+				p.traceDecision(entry, key, entry.links[li].delta, real, true)
+			}
 		}
 	}
 
@@ -232,11 +243,17 @@ func (p *Prefetcher) predict(entry *cstEntry, key cstKey, block int64, a *prefet
 			// (ties would otherwise always train the same link).
 			if !p.cfg.DisableShadow {
 				li := p.policy.pick(cands)
-				p.enqueue(entry.links[li].delta, key, block, a, iss, false)
+				real := p.enqueue(entry.links[li].delta, key, block, a, iss, false)
+				if p.obs != nil {
+					p.traceDecision(entry, key, entry.links[li].delta, real, true)
+				}
 			}
 			break
 		}
-		p.enqueue(l.delta, key, block, a, iss, true)
+		dispatched := p.enqueue(l.delta, key, block, a, iss, true)
+		if p.obs != nil {
+			p.traceDecision(entry, key, l.delta, dispatched, false)
+		}
 		issued++
 	}
 }
@@ -244,10 +261,12 @@ func (p *Prefetcher) predict(entry *cstEntry, key cstKey, block int64, a *prefet
 // enqueue pushes one prediction into the prefetch queue, dispatching it to
 // memory unless it is a shadow, a duplicate, or the MSHRs are depleted.
 // Expired queue entries displaced by the push receive the expiry penalty.
-func (p *Prefetcher) enqueue(delta int8, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer, wantReal bool) {
+// It reports whether the prediction actually dispatched to memory (false
+// for shadows and demotions), which the decision trace records.
+func (p *Prefetcher) enqueue(delta int8, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer, wantReal bool) bool {
 	target := block + int64(delta)
 	if target < 0 {
-		return
+		return false
 	}
 	addr := memmodel.Addr(uint64(target) << p.cfg.BlockShift)
 
@@ -290,5 +309,9 @@ func (p *Prefetcher) enqueue(delta int8, key cstKey, block int64, a *prefetch.Ac
 		if expired.issued {
 			p.policy.feedback(false)
 		}
+		if p.obs != nil {
+			p.traceExpire(expired.key, expired.delta, p.cfg.Reward.Expired(), expired.issued)
+		}
 	}
+	return dispatched
 }

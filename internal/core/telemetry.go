@@ -1,0 +1,116 @@
+package core
+
+import (
+	"semloc/internal/obs"
+)
+
+// Telemetry integration. The prefetcher carries an optional *obs.Collector
+// (nil by default); every hot-path hook below guards with one branch on
+// that pointer, so the disabled configuration keeps the 0 allocs/op
+// invariant of DESIGN.md §10 (the Makefile's overhead-guard target and
+// TestOnAccessZeroAllocTelemetryDisabled enforce it).
+//
+// Determinism: event sampling runs off the collector's own counter, never
+// the policy RNG, so attaching telemetry cannot change what the
+// prefetcher does — only what it reports.
+
+var (
+	_ obs.Attachable = (*Prefetcher)(nil)
+	_ obs.CoreSource = (*Prefetcher)(nil)
+)
+
+// AttachTelemetry implements obs.Attachable: subsequent decisions, rewards
+// and expiries are (sampled and) traced through c. Attach before the run;
+// a nil c detaches.
+func (p *Prefetcher) AttachTelemetry(c *obs.Collector) { p.obs = c }
+
+// TelemetrySnapshot implements obs.CoreSource: the cumulative counters and
+// learned-state summary the interval sampler snapshots at each boundary.
+// It is called once per sampling interval, not per access; the CST scan it
+// performs (via Inspect) is amortized to a handful of instructions per
+// demand access at default intervals.
+func (p *Prefetcher) TelemetrySnapshot() obs.CoreSnapshot {
+	st := p.Inspect()
+	top := make([]obs.DeltaCount, len(st.TopDeltas))
+	for i, d := range st.TopDeltas {
+		top[i] = obs.DeltaCount{Delta: d.Delta, Count: d.Count}
+	}
+	return obs.CoreSnapshot{
+		Accesses:         p.metrics.Accesses,
+		Predictions:      p.metrics.Predictions,
+		RealPrefetches:   p.metrics.RealPrefetches,
+		ShadowPrefetches: p.metrics.ShadowPrefetches,
+		QueueHits:        p.metrics.QueueHits,
+		Expired:          p.metrics.Expired,
+		Activations:      p.metrics.Activations,
+		Deactivations:    p.metrics.Deactivations,
+		Accuracy:         p.policy.accuracy,
+		Epsilon:          p.policy.epsilon,
+		CSTEntries:       st.Entries,
+		CSTLinks:         st.Links,
+		CSTMeanScore:     st.MeanScore,
+		TopDeltas:        top,
+	}
+}
+
+// contextID packs a CST key into the integer identity decision events
+// carry, so a trace reader can follow one learned context across events.
+func contextID(k cstKey) uint64 { return uint64(k.idx)<<8 | uint64(k.tag) }
+
+// traceDecision emits one sampled "decide" event: the candidate links the
+// prediction unit considered, the delta it chose, and whether the
+// prediction dispatched to memory or trained as a shadow. Callers guard
+// with p.obs != nil; the candidate slice is only built once the event is
+// actually sampled.
+func (p *Prefetcher) traceDecision(entry *cstEntry, key cstKey, delta int8, real, explore bool) {
+	if !p.obs.TraceDue() {
+		return
+	}
+	ev := obs.DecisionEvent{
+		Kind:    obs.KindDecide,
+		Index:   p.index,
+		Context: contextID(key),
+		Delta:   delta,
+		Real:    real,
+		Explore: explore,
+	}
+	for _, l := range entry.links {
+		if l.used {
+			ev.Candidates = append(ev.Candidates, obs.CandidateScore{Delta: l.delta, Score: l.score})
+		}
+	}
+	p.obs.Emit(&ev)
+}
+
+// traceReward emits one sampled "reward" event for a queued prediction
+// consumed by a demand access at the given depth.
+func (p *Prefetcher) traceReward(key cstKey, delta int8, reward int8, depth int, real bool) {
+	if !p.obs.TraceDue() {
+		return
+	}
+	p.obs.Emit(&obs.DecisionEvent{
+		Kind:    obs.KindReward,
+		Index:   p.index,
+		Context: contextID(key),
+		Delta:   delta,
+		Real:    real,
+		Reward:  reward,
+		Depth:   depth,
+	})
+}
+
+// traceExpire emits one sampled "expire" event for a prediction displaced
+// from the queue unconsumed, carrying the expiry penalty.
+func (p *Prefetcher) traceExpire(key cstKey, delta int8, penalty int8, real bool) {
+	if !p.obs.TraceDue() {
+		return
+	}
+	p.obs.Emit(&obs.DecisionEvent{
+		Kind:    obs.KindExpire,
+		Index:   p.index,
+		Context: contextID(key),
+		Delta:   delta,
+		Real:    real,
+		Reward:  penalty,
+	})
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"semloc/internal/obs"
+)
+
+// benchTrained drives the benchmark stream through a fresh prefetcher so
+// tests observe a populated table and live queue.
+func benchTrained(t *testing.T, col *obs.Collector) *Prefetcher {
+	t.Helper()
+	p := MustNew(DefaultConfig())
+	if col != nil {
+		p.AttachTelemetry(col)
+	}
+	iss := &benchIssuer{free: 4}
+	stream := benchStream(4096)
+	for i := range stream {
+		p.OnAccess(&stream[i], iss)
+	}
+	return p
+}
+
+func TestTelemetrySnapshotMatchesMetricsAndInspect(t *testing.T) {
+	p := benchTrained(t, nil)
+	snap := p.TelemetrySnapshot()
+	m := p.Metrics()
+	st := p.Inspect()
+
+	if snap.Accesses != m.Accesses || snap.Predictions != m.Predictions ||
+		snap.QueueHits != m.QueueHits || snap.Expired != m.Expired ||
+		snap.RealPrefetches != m.RealPrefetches || snap.ShadowPrefetches != m.ShadowPrefetches {
+		t.Fatalf("snapshot counters diverge from Metrics: %+v vs %+v", snap, m)
+	}
+	if snap.CSTEntries != st.Entries || snap.CSTLinks != st.Links || snap.CSTMeanScore != st.MeanScore {
+		t.Fatalf("snapshot table state diverges from Inspect: %+v vs %+v", snap, st)
+	}
+	if len(snap.TopDeltas) != len(st.TopDeltas) {
+		t.Fatalf("top deltas: %d vs %d", len(snap.TopDeltas), len(st.TopDeltas))
+	}
+	for i := range st.TopDeltas {
+		if snap.TopDeltas[i].Delta != st.TopDeltas[i].Delta || snap.TopDeltas[i].Count != st.TopDeltas[i].Count {
+			t.Fatalf("top delta %d mismatch: %+v vs %+v", i, snap.TopDeltas[i], st.TopDeltas[i])
+		}
+	}
+	if snap.Accesses == 0 || snap.CSTEntries == 0 {
+		t.Fatal("trained prefetcher produced an empty snapshot")
+	}
+}
+
+func TestDecisionTraceEmitsAllKinds(t *testing.T) {
+	var buf bytes.Buffer
+	col := obs.NewCollector(obs.Config{DecisionRate: 1, DecisionSink: &buf})
+	benchTrained(t, col)
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadDecisions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+		switch ev.Kind {
+		case obs.KindDecide:
+			if len(ev.Candidates) == 0 {
+				t.Fatalf("decide event without candidates: %+v", ev)
+			}
+		case obs.KindReward:
+			if ev.Depth < 0 {
+				t.Fatalf("reward event with negative depth: %+v", ev)
+			}
+		case obs.KindExpire:
+			if ev.Reward >= 0 {
+				t.Fatalf("expire event without penalty: %+v", ev)
+			}
+		default:
+			t.Fatalf("unknown event kind %q", ev.Kind)
+		}
+	}
+	// The recurring chase trains, predicts and overflows the queue, so
+	// every kind must appear at rate 1.
+	for _, k := range []string{obs.KindDecide, obs.KindReward, obs.KindExpire} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %q events traced (kinds: %v)", k, kinds)
+		}
+	}
+}
+
+// TestTelemetryDoesNotPerturbLearning runs the same stream with and
+// without an attached collector and requires bit-identical learned state
+// and metrics: tracing samples off its own counter, never the policy RNG.
+func TestTelemetryDoesNotPerturbLearning(t *testing.T) {
+	plain := benchTrained(t, nil)
+	var buf bytes.Buffer
+	traced := benchTrained(t, obs.NewCollector(obs.Config{DecisionRate: 3, DecisionSink: &buf}))
+
+	mp, mt := plain.Metrics(), traced.Metrics()
+	mp.HitDepths, mt.HitDepths = nil, nil
+	if mp != mt {
+		t.Fatalf("telemetry changed metrics:\n%+v\n%+v", mp, mt)
+	}
+	sp, st := plain.Inspect(), traced.Inspect()
+	if sp.Entries != st.Entries || sp.Links != st.Links || sp.MeanScore != st.MeanScore ||
+		sp.PositiveLinks != st.PositiveLinks || sp.SaturatedLinks != st.SaturatedLinks {
+		t.Fatalf("telemetry changed learned state:\n%+v\n%+v", sp, st)
+	}
+	if plain.Accuracy() != traced.Accuracy() || plain.Epsilon() != traced.Epsilon() {
+		t.Fatal("telemetry changed policy state")
+	}
+}

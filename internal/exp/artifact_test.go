@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"os"
+	"testing"
+
+	"semloc/internal/obs"
+)
+
+func TestRunnerPersistsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.Scale = 0.05
+	opts.OutDir = dir
+	opts.Telemetry = obs.Config{Interval: 1024, DecisionRate: 16}
+	r := NewRunner(opts)
+
+	res, err := r.Result("list", "context")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series == nil {
+		t.Fatal("telemetry enabled via Options but result has no series")
+	}
+
+	art, err := LoadArtifact(ArtifactPath(dir, "list", "context"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Workload != "list" || art.Prefetcher != "context" {
+		t.Fatalf("artifact identity %s/%s", art.Workload, art.Prefetcher)
+	}
+	if art.IPC <= 0 || art.IPC != res.IPC() {
+		t.Fatalf("artifact IPC %v, result %v", art.IPC, res.IPC())
+	}
+	// Satellite contract: final Metrics and TableStats land in the same
+	// artifact as the figure data.
+	if art.Metrics == nil || art.Metrics.Accesses == 0 {
+		t.Fatalf("artifact missing final metrics: %+v", art.Metrics)
+	}
+	if art.Metrics.HitDepths == nil || art.Metrics.HitDepths.Total() == 0 {
+		t.Fatal("hit-depth histogram did not survive the round trip")
+	}
+	if art.TableStats == nil || art.TableStats.Entries == 0 {
+		t.Fatalf("artifact missing learned-state summary: %+v", art.TableStats)
+	}
+	if art.Result.Series == nil || len(art.Result.Series.Samples) == 0 {
+		t.Fatal("artifact missing telemetry series")
+	}
+	if err := art.Result.Series.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The decision trace must exist, parse, and agree with the series.
+	f, err := os.Open(DecisionsPath(dir, "list", "context"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ReadDecisions(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty decision trace")
+	}
+	if got := art.Result.Series.Decisions; got != uint64(len(evs)) {
+		t.Fatalf("series says %d decisions, trace holds %d", got, len(evs))
+	}
+}
+
+func TestRunnerPersistsNonInstrumentedPrefetcher(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.Scale = 0.05
+	opts.OutDir = dir
+	opts.Telemetry = obs.Config{Interval: 2048}
+	r := NewRunner(opts)
+
+	if _, err := r.Result("array", "none"); err != nil {
+		t.Fatal(err)
+	}
+	art, err := LoadArtifact(ArtifactPath(dir, "array", "none"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Metrics != nil || art.TableStats != nil {
+		t.Fatal("none prefetcher should have no learner sections")
+	}
+	if art.Result.Series == nil {
+		t.Fatal("machine-side series missing")
+	}
+	// No decision trace was configured; none must exist.
+	if _, err := os.Stat(DecisionsPath(dir, "array", "none")); !os.IsNotExist(err) {
+		t.Fatalf("unexpected decision trace: %v", err)
+	}
+}
+
+func TestArtifactValidateRejectsMalformed(t *testing.T) {
+	cases := []*RunArtifact{
+		nil,
+		{},
+		{Schema: ArtifactSchema},
+		{Schema: ArtifactSchema, Workload: "w", Prefetcher: "p"},
+	}
+	for i, a := range cases {
+		if err := a.Validate(); err == nil {
+			t.Fatalf("case %d: malformed artifact validated", i)
+		}
+	}
+}
+
+func TestRunFileBaseSanitizes(t *testing.T) {
+	if got := runFileBase("a/b c", "x:y"); got != "a-b-c__x-y" {
+		t.Fatalf("runFileBase = %q", got)
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 
 	"semloc/internal/harness"
+	"semloc/internal/obs"
 	"semloc/internal/prefetch"
 	"semloc/internal/sim"
 	"semloc/internal/trace"
@@ -27,6 +29,16 @@ type Options struct {
 	// Harness bounds each simulation run (watchdog, cancellation grace).
 	// The zero value disables the watchdog; panic containment is always on.
 	Harness harness.RunConfig
+	// Telemetry enables interval sampling and decision tracing for every
+	// run. Its DecisionSink is ignored: the Runner manages one sink per
+	// run (a .decisions.jsonl file under OutDir). The zero value keeps
+	// every run on the telemetry-free fast path.
+	Telemetry obs.Config
+	// OutDir, when non-empty, persists one JSON artifact per completed run
+	// (result + final metrics + learned-state summary + telemetry series;
+	// see RunArtifact), plus a decision trace when Telemetry.DecisionRate
+	// is set. The directory is created on first use.
+	OutDir string
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -259,9 +271,41 @@ func (r *Runner) run(workload, prefetcher string) (*sim.Result, error) {
 		return nil, fmt.Errorf("exp: %s/%s: %w", workload, prefetcher, context.Cause(r.ctx))
 	}
 	defer func() { <-r.sem }()
-	res, err := harness.Run(r.ctx, tr, pf, r.opts.Sim, r.opts.Harness)
+
+	simCfg := r.opts.Sim
+	var decFile *os.File
+	if r.opts.Telemetry.Interval > 0 || r.opts.Telemetry.DecisionRate > 0 {
+		simCfg.Obs = r.opts.Telemetry
+		simCfg.Obs.DecisionSink = nil
+		// Only instrumented prefetchers emit decision events; skip the file
+		// for the rest so the artifact dir isn't littered with empty traces.
+		_, instrumented := pf.(obs.Attachable)
+		if r.opts.OutDir != "" && r.opts.Telemetry.DecisionRate > 0 && instrumented {
+			if err := os.MkdirAll(r.opts.OutDir, 0o755); err != nil {
+				return nil, fmt.Errorf("exp: %s/%s: telemetry dir: %w", workload, prefetcher, err)
+			}
+			decFile, err = os.Create(DecisionsPath(r.opts.OutDir, workload, prefetcher))
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s/%s: decision trace: %w", workload, prefetcher, err)
+			}
+			defer decFile.Close()
+			simCfg.Obs.DecisionSink = decFile
+		}
+	}
+
+	res, err := harness.Run(r.ctx, tr, pf, simCfg, r.opts.Harness)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s/%s: %w", workload, prefetcher, err)
+	}
+	if decFile != nil {
+		if err := decFile.Close(); err != nil {
+			return nil, fmt.Errorf("exp: %s/%s: decision trace: %w", workload, prefetcher, err)
+		}
+	}
+	if r.opts.OutDir != "" {
+		if _, err := WriteArtifact(r.opts.OutDir, newRunArtifact(res, pf, r.opts)); err != nil {
+			return nil, fmt.Errorf("exp: %s/%s: %w", workload, prefetcher, err)
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Decision-event kinds. A "decide" event captures one prediction choice
+// (candidates, chosen delta, real vs shadow); "reward" the bell-shaped
+// feedback applied when a queued prediction is consumed by a demand
+// access; "expire" the penalty applied when a prediction leaves the queue
+// unconsumed.
+const (
+	KindDecide = "decide"
+	KindReward = "reward"
+	KindExpire = "expire"
+)
+
+// CandidateScore is one (delta, score) link considered by a decision.
+type CandidateScore struct {
+	Delta int8 `json:"delta"`
+	Score int8 `json:"score"`
+}
+
+// DecisionEvent is one sampled entry of the JSONL decision trace. Context
+// identifies the CST entry (index and tag packed into one integer), so a
+// trace reader can follow a single learned context through decide →
+// reward/expire.
+type DecisionEvent struct {
+	Kind  string `json:"kind"`
+	Index uint64 `json:"index"`
+	// Context identifies the CST entry the decision read or rewarded.
+	Context uint64 `json:"ctx"`
+	// Candidates lists the links considered (decide events only).
+	Candidates []CandidateScore `json:"candidates,omitempty"`
+	// Delta is the chosen (decide) or rewarded (reward/expire) delta.
+	Delta int8 `json:"delta"`
+	// Real distinguishes dispatched prefetches from shadow operations.
+	Real bool `json:"real"`
+	// Explore marks policy-exploration choices (decide events).
+	Explore bool `json:"explore,omitempty"`
+	// Reward is the applied reward (reward/expire events).
+	Reward int8 `json:"reward,omitempty"`
+	// Depth is the prediction-to-demand distance in accesses (reward
+	// events).
+	Depth int `json:"depth,omitempty"`
+}
+
+// decisionSink serializes sampled events as JSONL. Writes are buffered;
+// the first error sticks and suppresses further output.
+type decisionSink struct {
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	written uint64
+	err     error
+}
+
+func newDecisionSink(w io.Writer) *decisionSink {
+	bw := bufio.NewWriter(w)
+	return &decisionSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// TraceDue reports whether the next decision event should be emitted,
+// advancing the 1-in-DecisionRate sampling counter. The first event of a
+// run is always sampled, so even short runs leave a trace. The counter is
+// independent of the policy RNG: tracing cannot perturb the simulation.
+func (c *Collector) TraceDue() bool {
+	if c == nil || c.sink == nil {
+		return false
+	}
+	c.events++
+	return (c.events-1)%c.cfg.DecisionRate == 0
+}
+
+// Emit writes one sampled event to the JSONL sink. Call only after
+// TraceDue returned true (Emit itself stays cheap and branch-free for the
+// disabled path by living behind the same nil receiver contract).
+func (c *Collector) Emit(ev *DecisionEvent) {
+	if c == nil || c.sink == nil || c.sink.err != nil {
+		return
+	}
+	if err := c.sink.enc.Encode(ev); err != nil {
+		c.sink.err = fmt.Errorf("obs: decision sink: %w", err)
+		return
+	}
+	c.sink.written++
+}
+
+// Flush drains the buffered decision stream into the underlying writer.
+// The simulation driver calls it once at end of run.
+func (c *Collector) Flush() error {
+	if c == nil || c.sink == nil {
+		return nil
+	}
+	if c.sink.err != nil {
+		return c.sink.err
+	}
+	if err := c.sink.bw.Flush(); err != nil {
+		c.sink.err = fmt.Errorf("obs: decision sink: %w", err)
+	}
+	return c.sink.err
+}
+
+// ReadDecisions parses a JSONL decision trace, returning the decoded
+// events. It tolerates a trailing partial line only if empty.
+func ReadDecisions(r io.Reader) ([]DecisionEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []DecisionEvent
+	for {
+		var ev DecisionEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("obs: decision trace entry %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+}

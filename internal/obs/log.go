@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"time"
+)
+
+// NewRunID derives a short, unique-enough identifier for one command
+// invocation, carried as the run_id attribute on every structured log
+// line so concurrent or scripted sweeps can be teased apart afterwards.
+func NewRunID() string {
+	return fmt.Sprintf("%08x", uint32(time.Now().UnixNano())^uint32(os.Getpid())<<16)
+}
+
+// LogLevel maps the shared -q/-v command flags onto a slog level: quiet
+// shows warnings and errors only, verbose adds debug detail.
+func LogLevel(quiet, verbose bool) slog.Level {
+	switch {
+	case quiet:
+		return slog.LevelWarn
+	case verbose:
+		return slog.LevelDebug
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds the structured logger the run commands share: text
+// format on w (stderr by convention — stdout stays reserved for tables
+// and reports), tagged with the command name and a fresh run ID. It also
+// installs itself as the slog default, so library-side slog calls join
+// the same stream.
+func NewLogger(w io.Writer, cmd string, quiet, verbose bool) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: LogLevel(quiet, verbose)})
+	lg := slog.New(h).With("cmd", cmd, "run_id", NewRunID())
+	slog.SetDefault(lg)
+	return lg
+}

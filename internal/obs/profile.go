@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles enables the pprof hooks shared by cmd/bench and
+// cmd/experiments: a CPU profile written for the whole invocation and a
+// heap profile captured at stop time. Either path may be empty. The
+// returned stop function must be called exactly once (defer it); it
+// finishes both profiles and reports the first error.
+//
+// Together with the telemetry series these close the observability loop:
+// the overhead guard and BENCH_<n>.json detect a hot-path regression, the
+// profiles say where it lives.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("obs: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("obs: mem profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("obs: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("obs: mem profile: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

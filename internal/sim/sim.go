@@ -8,10 +8,12 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"semloc/internal/cache"
 	"semloc/internal/cpu"
 	"semloc/internal/memmodel"
+	"semloc/internal/obs"
 	"semloc/internal/prefetch"
 	"semloc/internal/stats"
 	"semloc/internal/trace"
@@ -21,6 +23,11 @@ import (
 type Config struct {
 	CPU   cpu.Config
 	Cache cache.Config
+	// Obs enables telemetry for the run (interval time-series sampling and
+	// the sampled decision trace). The zero value disables it entirely:
+	// the simulation then runs the exact pre-telemetry hot path (one
+	// branch-on-nil per access) and produces bit-identical results.
+	Obs obs.Config
 }
 
 // DefaultConfig returns the Table 2 machine.
@@ -64,6 +71,9 @@ type Result struct {
 	// the demand that consumed it (Figure 8), over real and shadow
 	// predictions alike.
 	HitDepths *stats.Histogram
+	// Series is the telemetry time series (nil unless Config.Obs enabled
+	// interval sampling).
+	Series *obs.Series `json:",omitempty"`
 }
 
 // L1MPKI returns L1 demand misses per kilo-instruction.
@@ -112,6 +122,22 @@ func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cf
 		predLog:   newPredictionLog(512),
 	}
 	cpuCfg := cfg.CPU
+	col := obs.NewCollector(cfg.Obs) // nil when telemetry is disabled
+	if col != nil {
+		ad.col = col
+		if src, ok := pf.(obs.CoreSource); ok {
+			ad.coreSrc = src
+		}
+		if att, ok := pf.(obs.Attachable); ok {
+			att.AttachTelemetry(col)
+		}
+		// The sampler reads retired instructions from the core model's
+		// progress counter (the watchdog shares it when supervision is on).
+		if cpuCfg.Progress == nil {
+			cpuCfg.Progress = new(atomic.Uint64)
+		}
+		ad.progress = cpuCfg.Progress
+	}
 	cpuCfg.OnWarmupEnd = func(now cache.Cycle) {
 		hier.ResetStats()
 		ad.cats = Categories{}
@@ -119,6 +145,7 @@ func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cf
 		if r, ok := pf.(metricsResetter); ok {
 			r.ResetMetrics()
 		}
+		col.NoteWarmupEnd(ad.accessIdx)
 	}
 	cpuRes, err := cpu.RunContext(ctx, tr, ad, cpuCfg)
 	if err != nil {
@@ -128,7 +155,7 @@ func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cf
 	l1, l2 := hier.Stats()
 	ad.cats.PrefetchNeverHit = l1.UselessEvicts
 	ad.cats.Demand = l1.Accesses
-	return &Result{
+	res := &Result{
 		Workload:   tr.Name,
 		Prefetcher: pf.Name(),
 		CPU:        cpuRes,
@@ -136,7 +163,20 @@ func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cf
 		L2:         l2,
 		Categories: ad.cats,
 		HitDepths:  ad.hitDepths,
-	}, nil
+	}
+	if col != nil {
+		// Close the series with an end-of-run sample (so even a run shorter
+		// than one interval exports a non-empty curve), then surface any
+		// decision-sink failure: telemetry loss is loud, not silent.
+		if col.SamplingEnabled() && col.LastIndex() < ad.accessIdx {
+			ad.sample(ad.lastNow)
+		}
+		res.Series = col.Series()
+		if err := col.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: %s/%s telemetry: %w", tr.Name, pf.Name(), err)
+		}
+	}
+	return res, nil
 }
 
 // RunWorkload generates the named workload and runs it under pf.
@@ -180,6 +220,12 @@ type adapter struct {
 	cats      Categories
 	hitDepths *stats.Histogram
 	predLog   *predictionLog
+	// col/coreSrc/progress drive telemetry (all nil when disabled; the
+	// per-access cost of the disabled path is one branch).
+	col      *obs.Collector
+	coreSrc  obs.CoreSource
+	progress *atomic.Uint64
+	lastNow  cache.Cycle
 	// acc is the Access scratch passed to the prefetcher each call; a local
 	// would escape through the interface call and allocate per access.
 	// Prefetchers must not retain the pointer past OnAccess.
@@ -237,10 +283,39 @@ func (m *adapter) Access(rec *trace.Record, now cache.Cycle) cache.Cycle {
 	}
 	m.pf.OnAccess(&m.acc, m)
 	m.accessIdx++
+	if m.col != nil {
+		m.lastNow = now
+		if m.col.Due(m.accessIdx) {
+			m.sample(now)
+		}
+	}
 	// Stores also return their fill time: the core uses it only for store
 	// buffer occupancy and (rare) store-to-load value dependencies, never
 	// for retirement.
 	return res.Done
+}
+
+// sample snapshots the machine and prefetcher state into the telemetry
+// series. It runs once per interval boundary (and once at end of run),
+// never on the per-access fast path.
+func (m *adapter) sample(now cache.Cycle) {
+	l1, l2 := m.hier.Stats()
+	var instr uint64
+	if m.progress != nil {
+		// Updated by the core model at its periodic checkpoints, so it may
+		// trail the access index by a few thousand records.
+		instr = m.progress.Load()
+	}
+	var cs obs.CoreSnapshot
+	if m.coreSrc != nil {
+		cs = m.coreSrc.TelemetrySnapshot()
+	}
+	m.col.Record(m.accessIdx, obs.MachineSnapshot{
+		Cycles:       uint64(now),
+		Instructions: instr,
+		L1Misses:     l1.Misses,
+		L2Misses:     l2.Misses,
+	}, cs)
 }
 
 // Prefetch implements prefetch.Issuer.

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"semloc/internal/core"
+	"semloc/internal/obs"
+	"semloc/internal/prefetch"
+)
+
+func TestTelemetrySeriesProduced(t *testing.T) {
+	tr := genTrace(t, "list", 0.05)
+	cfg := DefaultConfig()
+	cfg.Obs = obs.Config{Interval: 1024}
+	res, err := Run(tr, core.MustNew(core.DefaultConfig()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series
+	if s == nil {
+		t.Fatal("telemetry enabled but no series exported")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Samples) < 2 {
+		t.Fatalf("expected a multi-sample curve, got %d samples", len(s.Samples))
+	}
+	last := s.Samples[len(s.Samples)-1]
+	if last.Index == 0 || last.Cycles == 0 {
+		t.Fatalf("final sample empty: %+v", last)
+	}
+	// The context prefetcher learns on this workload: the curve must show
+	// learned state and prefetch activity somewhere.
+	var real, hits uint64
+	sawEntries := false
+	for _, sm := range s.Samples {
+		real += sm.Real
+		hits += sm.QueueHits
+		if sm.CSTEntries > 0 {
+			sawEntries = true
+		}
+	}
+	if real == 0 || hits == 0 || !sawEntries {
+		t.Fatalf("curve shows no learning: real=%d hits=%d entries=%v", real, hits, sawEntries)
+	}
+	// Warm-up retires in this trace, so the boundary must be recorded.
+	if s.WarmupIndex == 0 {
+		t.Error("warm-up boundary not recorded in series")
+	}
+}
+
+func TestTelemetrySeriesForNonInstrumentedPrefetcher(t *testing.T) {
+	// Prefetchers that implement neither obs interface still get the
+	// machine-side curve (IPC, MPKI); learner fields stay zero.
+	tr := genTrace(t, "array", 0.05)
+	cfg := DefaultConfig()
+	cfg.Obs = obs.Config{Interval: 1024}
+	res, err := Run(tr, prefetch.NewNone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series == nil {
+		t.Fatal("no series for non-instrumented prefetcher")
+	}
+	if err := res.Series.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range res.Series.Samples {
+		if sm.CSTEntries != 0 || sm.Predictions != 0 {
+			t.Fatalf("none prefetcher reported learner state: %+v", sm)
+		}
+	}
+}
+
+func TestTelemetryIntervalLongerThanRun(t *testing.T) {
+	tr := genTrace(t, "list", 0.02)
+	cfg := DefaultConfig()
+	cfg.Obs = obs.Config{Interval: 1 << 40}
+	res, err := Run(tr, core.MustNew(core.DefaultConfig()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series == nil || len(res.Series.Samples) != 1 {
+		t.Fatalf("oversized interval should still flush one end-of-run sample, got %+v", res.Series)
+	}
+	if err := res.Series.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryDoesNotChangeResults runs the same (trace, config) pair
+// with telemetry off and fully on, and requires identical simulation
+// outcomes: sampling observes the run, it must never steer it.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	tr := genTrace(t, "list", 0.05)
+
+	plain, err := Run(tr, core.MustNew(core.DefaultConfig()), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sink bytes.Buffer
+	cfg := DefaultConfig()
+	cfg.Obs = obs.Config{Interval: 512, DecisionRate: 7, DecisionSink: &sink}
+	traced, err := Run(tr, core.MustNew(core.DefaultConfig()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.CPU != traced.CPU {
+		t.Fatalf("telemetry changed CPU results:\n%+v\n%+v", plain.CPU, traced.CPU)
+	}
+	if plain.L1 != traced.L1 || plain.L2 != traced.L2 {
+		t.Fatalf("telemetry changed cache results:\n%+v %+v\n%+v %+v", plain.L1, plain.L2, traced.L1, traced.L2)
+	}
+	if plain.Categories != traced.Categories {
+		t.Fatalf("telemetry changed categories:\n%+v\n%+v", plain.Categories, traced.Categories)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("decision trace produced no output")
+	}
+	evs, err := obs.ReadDecisions(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Series.Decisions != uint64(len(evs)) {
+		t.Fatalf("series records %d decisions, sink holds %d", traced.Series.Decisions, len(evs))
+	}
+}

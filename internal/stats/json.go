@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// histogramJSON is the wire form of Histogram: the bucket counts plus the
+// redundant total, which UnmarshalJSON verifies so a hand-edited or
+// truncated artifact fails loudly instead of skewing a figure.
+type histogramJSON struct {
+	Counts []uint64 `json:"counts"`
+	Total  uint64   `json:"total"`
+}
+
+// MarshalJSON implements json.Marshaler, making histogram-bearing results
+// (core.Metrics, sim.Result) persistable by the run artifacts exp.Runner
+// writes.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Counts: h.counts, Total: h.total})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	var sum uint64
+	for _, c := range w.Counts {
+		sum += c
+	}
+	if sum != w.Total {
+		return fmt.Errorf("stats: histogram counts sum to %d, total says %d", sum, w.Total)
+	}
+	if len(w.Counts) == 0 {
+		w.Counts = make([]uint64, 1)
+	}
+	h.counts = w.Counts
+	h.total = w.Total
+	return nil
+}

@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []int{0, 3, 3, 7, 12} { // 12 clamps into the top bucket
+		h.Add(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewHistogram(0)
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != h.Total() || back.Max() != h.Max() {
+		t.Fatalf("round trip changed shape: total %d/%d max %d/%d", back.Total(), h.Total(), back.Max(), h.Max())
+	}
+	for v := 0; v <= h.Max(); v++ {
+		if back.Count(v) != h.Count(v) {
+			t.Fatalf("bucket %d: %d != %d", v, back.Count(v), h.Count(v))
+		}
+	}
+}
+
+func TestHistogramJSONRejectsInconsistentTotal(t *testing.T) {
+	h := NewHistogram(0)
+	if err := json.Unmarshal([]byte(`{"counts":[1,2],"total":5}`), h); err == nil {
+		t.Fatal("inconsistent total accepted")
+	}
+}
