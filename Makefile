@@ -6,9 +6,9 @@
 # hot path at zero allocations per access.
 
 GO ?= go
-BENCH_N ?= 2
+BENCH_N ?= 3
 
-.PHONY: all vet build test race fuzz bench bench-smoke overhead-guard check clean
+.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard check clean
 
 all: build
 
@@ -38,6 +38,15 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -out .bench-smoke.json
 	rm -f .bench-smoke.json
+
+# bench-diff compares two recorded perf reports and fails on regression
+# (>10% ns/access on any shared matrix cell, or any real allocs/access
+# increase). Override OLD/NEW to compare other baselines:
+#   make bench-diff OLD=BENCH_2.json NEW=BENCH_3.json
+OLD ?= BENCH_2.json
+NEW ?= BENCH_$(BENCH_N).json
+bench-diff:
+	$(GO) run ./cmd/bench -compare $(OLD) $(NEW)
 
 # overhead-guard pins the telemetry overhead contract (DESIGN.md §11):
 # with telemetry disabled, core.Prefetcher.OnAccess must stay at

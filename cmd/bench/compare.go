@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Regression thresholds for -compare. Wall-clock per-access cost gets 10%
+// of headroom (single-run timings jitter); allocation counts are nearly
+// deterministic, so any real per-access increase is treated as a leak —
+// allocTol only absorbs float division noise and stray GC bookkeeping.
+const (
+	nsRegressionFrac = 0.10
+	allocTol         = 0.01
+)
+
+// Delta is one cell's old-vs-new comparison.
+type Delta struct {
+	Workload   string
+	Prefetcher string
+	OldNS      float64
+	NewNS      float64
+	NSFrac     float64 // (new-old)/old
+	OldAllocs  float64
+	NewAllocs  float64
+	Regressed  bool
+	Reason     string
+}
+
+// loadReport parses a BENCH_<n>.json file. Parsing is lenient about
+// missing newer fields (older baselines predate them); it only requires
+// well-formed JSON with entries.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if len(rep.Entries) == 0 {
+		return nil, fmt.Errorf("bench: %s holds no entries", path)
+	}
+	return &rep, nil
+}
+
+// Compare diffs two reports cell by cell over their shared matrix. A cell
+// regresses when ns/access grows more than nsRegressionFrac or
+// allocs/access grows beyond allocTol. Cells present in only one report
+// are ignored (the matrix is allowed to evolve); an empty intersection is
+// an error, since "nothing compared" must not read as "no regressions".
+func Compare(oldRep, newRep *Report) ([]Delta, error) {
+	oldBy := make(map[string]Entry, len(oldRep.Entries))
+	for _, e := range oldRep.Entries {
+		oldBy[e.Workload+"|"+e.Prefetcher] = e
+	}
+	var deltas []Delta
+	for _, n := range newRep.Entries {
+		o, ok := oldBy[n.Workload+"|"+n.Prefetcher]
+		if !ok || o.NSPerAccess <= 0 {
+			continue
+		}
+		d := Delta{
+			Workload:   n.Workload,
+			Prefetcher: n.Prefetcher,
+			OldNS:      o.NSPerAccess,
+			NewNS:      n.NSPerAccess,
+			NSFrac:     (n.NSPerAccess - o.NSPerAccess) / o.NSPerAccess,
+			OldAllocs:  o.AllocsPerAccess,
+			NewAllocs:  n.AllocsPerAccess,
+		}
+		switch {
+		case d.NSFrac > nsRegressionFrac:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("ns/access +%.1f%% (limit %.0f%%)", d.NSFrac*100, nsRegressionFrac*100)
+		case d.NewAllocs > d.OldAllocs+allocTol:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("allocs/access %.4f -> %.4f", d.OldAllocs, d.NewAllocs)
+		}
+		deltas = append(deltas, d)
+	}
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("bench: reports share no matrix cells; nothing to compare")
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Workload != deltas[j].Workload {
+			return deltas[i].Workload < deltas[j].Workload
+		}
+		return deltas[i].Prefetcher < deltas[j].Prefetcher
+	})
+	return deltas, nil
+}
+
+// renderCompare prints the comparison table and returns the number of
+// regressed cells.
+func renderCompare(w io.Writer, oldPath, newPath string, deltas []Delta) int {
+	fmt.Fprintf(w, "bench compare: %s -> %s\n", oldPath, newPath)
+	fmt.Fprintf(w, "%-16s %-10s %12s %12s %8s  %s\n",
+		"workload", "prefetcher", "old ns/acc", "new ns/acc", "delta", "verdict")
+	regressed := 0
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSION: " + d.Reason
+			regressed++
+		}
+		fmt.Fprintf(w, "%-16s %-10s %12.2f %12.2f %+7.1f%%  %s\n",
+			d.Workload, d.Prefetcher, d.OldNS, d.NewNS, d.NSFrac*100, verdict)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "bench compare: %d/%d cells regressed\n", regressed, len(deltas))
+	} else {
+		fmt.Fprintf(w, "bench compare: no regressions across %d cells\n", len(deltas))
+	}
+	return regressed
+}

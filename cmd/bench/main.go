@@ -8,8 +8,23 @@
 //
 //	bench                       # full matrix, writes BENCH_<n>.json
 //	bench -quick -out /tmp/b.json   # tiny smoke matrix (make check)
-//	bench -scale 0.5 -n 3       # custom scale, bench sequence number 3
+//	bench -scale 0.5 -n 4       # custom scale, bench sequence number 4
+//	bench -compare BENCH_2.json BENCH_3.json   # regression gate
 //	bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The benchmark runs in two passes. A parallel warm-up pass (-parallel,
+// default GOMAXPROCS) decodes every trace into a shared cache and runs the
+// whole matrix once, verifying results; the timed pass then re-runs every
+// cell strictly sequentially (timings must not contend) on the shared
+// traces and requires each cell's IPC to equal the warm pass's exactly —
+// the engine's determinism contract, checked on every benchmark. Timed
+// numbers therefore always come from a parallelism-1 schedule; the report
+// records both parallelism levels.
+//
+// -compare exits non-zero when the new report regresses the old by more
+// than 10% ns/access on any shared cell, or allocates measurably more per
+// access (the hot path's allocs/access target is ~0, so any real increase
+// is a leak).
 //
 // Progress and diagnostics go to stderr as structured logs (-q silences
 // them; -v adds per-entry measurements).
@@ -17,7 +32,8 @@
 // The report is validated after writing (re-read, re-parsed, sanity
 // checked); a report that cannot be produced or fails validation exits
 // non-zero. Exit codes follow the harness contract: 0 ok, 1 a run or the
-// report failed, 2 usage error, 3 cancelled.
+// report failed (or -compare found a regression), 2 usage error, 3
+// cancelled.
 package main
 
 import (
@@ -39,7 +55,7 @@ import (
 
 // benchSeq is the default sequence number of the report this source tree
 // writes; bump it (or pass -n) in the PR that records a new baseline.
-const benchSeq = 2
+const benchSeq = 3
 
 // Entry is one (workload, prefetcher) measurement.
 type Entry struct {
@@ -67,16 +83,23 @@ type Entry struct {
 
 // Report is the BENCH_<n>.json schema (version 1).
 type Report struct {
-	Bench       int     `json:"bench"`
-	Schema      int     `json:"schema"`
-	Quick       bool    `json:"quick,omitempty"`
-	Scale       float64 `json:"scale"`
-	Seed        uint64  `json:"seed"`
-	GoVersion   string  `json:"go"`
-	GOOS        string  `json:"goos"`
-	GOARCH      string  `json:"goarch"`
-	Entries     []Entry `json:"entries"`
-	TotalWallNS int64   `json:"total_wall_ns"`
+	Bench     int     `json:"bench"`
+	Schema    int     `json:"schema"`
+	Quick     bool    `json:"quick,omitempty"`
+	Scale     float64 `json:"scale"`
+	Seed      uint64  `json:"seed"`
+	GoVersion string  `json:"go"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	// WarmParallelism is the worker count of the (untimed) warm-up pass
+	// that decoded traces and verified determinism.
+	WarmParallelism int `json:"warm_parallelism"`
+	// TimedParallelism is the worker count of the timed pass. Always 1:
+	// wall-clock numbers from contending simulations would be noise, so
+	// Validate rejects anything else.
+	TimedParallelism int     `json:"timed_parallelism"`
+	Entries          []Entry `json:"entries"`
+	TotalWallNS      int64   `json:"total_wall_ns"`
 }
 
 // Matrix configures a benchmark run.
@@ -87,6 +110,9 @@ type Matrix struct {
 	Seed        uint64
 	Bench       int
 	Quick       bool
+	// WarmParallel bounds the warm-up pass's workers (0 = GOMAXPROCS).
+	// The timed pass is always sequential regardless.
+	WarmParallel int
 }
 
 // DefaultMatrix is the fixed matrix the perf trajectory tracks: the
@@ -116,29 +142,69 @@ func QuickMatrix() Matrix {
 	}
 }
 
-// Run executes the matrix sequentially (Parallelism 1: wall times must not
-// contend) and assembles the report.
+// Run executes the matrix in two passes — a parallel untimed warm-up, then
+// the sequential timed measurement — and assembles the report.
+//
+// The warm-up runner and the timed runner share one TraceCache (traces
+// decode once) but deliberately NOT a result memo: sharing results would
+// let the timed pass return the warm pass's memoized values in ~0ns and
+// the benchmark would measure nothing. Instead the timed pass re-simulates
+// every cell and Run cross-checks its IPC against the warm pass's, exactly
+// — any divergence means a run depended on scheduling, which the engine's
+// determinism contract forbids.
 func Run(ctx context.Context, m Matrix) (*Report, error) {
-	opts := exp.DefaultOptions()
-	opts.Scale = m.Scale
-	opts.Seed = m.Seed
-	opts.Parallelism = 1
-	r := exp.NewRunnerContext(ctx, opts)
+	warmPar := m.WarmParallel
+	if warmPar <= 0 {
+		warmPar = runtime.GOMAXPROCS(0)
+	}
+
+	warmOpts := exp.DefaultOptions()
+	warmOpts.Scale = m.Scale
+	warmOpts.Seed = m.Seed
+	warmOpts.Parallelism = warmPar
+	warm := exp.NewRunnerContext(ctx, warmOpts)
+
+	jobs := make([]exp.Job, 0, len(m.Workloads)*len(m.Prefetchers))
+	for _, wl := range m.Workloads {
+		for _, pf := range m.Prefetchers {
+			jobs = append(jobs, exp.Job{Workload: wl, Prefetcher: pf})
+		}
+	}
+	warmRes, err := warm.RunJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	warmIPC := make(map[string]float64, len(jobs))
+	for _, jr := range warmRes {
+		if jr.Err != nil {
+			return nil, jr.Err
+		}
+		warmIPC[jr.Job.Workload+"|"+jr.Job.Prefetcher] = jr.Result.IPC()
+	}
+
+	timedOpts := exp.DefaultOptions()
+	timedOpts.Scale = m.Scale
+	timedOpts.Seed = m.Seed
+	timedOpts.Parallelism = 1
+	timedOpts.Traces = warm.Traces()
+	r := exp.NewRunnerContext(ctx, timedOpts)
 
 	rep := &Report{
-		Bench:     m.Bench,
-		Schema:    1,
-		Quick:     m.Quick,
-		Scale:     m.Scale,
-		Seed:      m.Seed,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Bench:            m.Bench,
+		Schema:           1,
+		Quick:            m.Quick,
+		Scale:            m.Scale,
+		Seed:             m.Seed,
+		GoVersion:        runtime.Version(),
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		WarmParallelism:  warmPar,
+		TimedParallelism: 1,
 	}
 	var ms runtime.MemStats
 	for _, wl := range m.Workloads {
-		// Pre-generate (and memoize) the trace so generation time never
-		// pollutes simulation wall time.
+		// A cache hit via the shared TraceCache: generation time cannot
+		// pollute simulation wall time.
 		tr, err := r.Trace(wl)
 		if err != nil {
 			return nil, err
@@ -156,6 +222,10 @@ func Run(ctx context.Context, m Matrix) (*Report, error) {
 				return nil, err
 			}
 			runtime.ReadMemStats(&ms)
+			if want := warmIPC[wl+"|"+pf]; res.IPC() != want {
+				return nil, fmt.Errorf("bench: %s/%s: timed IPC %v != warm-pass IPC %v; parallel and sequential schedules diverged",
+					wl, pf, res.IPC(), want)
+			}
 			e := Entry{
 				Workload:   wl,
 				Prefetcher: pf,
@@ -203,6 +273,9 @@ func (r *Report) Validate(m Matrix) error {
 	if r.TotalWallNS <= 0 {
 		return fmt.Errorf("bench: non-positive total wall time")
 	}
+	if r.TimedParallelism != 1 {
+		return fmt.Errorf("bench: timed pass ran at parallelism %d; timings are only valid sequentially", r.TimedParallelism)
+	}
 	return nil
 }
 
@@ -242,21 +315,48 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		quick   = flag.Bool("quick", false, "smoke mode: tiny matrix and scale (used by make check)")
-		scale   = flag.Float64("scale", 0, "workload scale factor (default: matrix default)")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		n       = flag.Int("n", benchSeq, "bench sequence number (names the default output file)")
-		out     = flag.String("out", "", "output path (default BENCH_<n>.json)")
-		wls     = flag.String("workloads", "", "comma-separated workloads (default: fixed matrix)")
-		pfs     = flag.String("prefetchers", "", "comma-separated prefetchers (default: fixed matrix)")
-		verbose = flag.Bool("v", false, "log per-entry measurements")
-		quiet   = flag.Bool("q", false, "suppress progress logging (errors still print)")
+		quick    = flag.Bool("quick", false, "smoke mode: tiny matrix and scale (used by make check)")
+		scale    = flag.Float64("scale", 0, "workload scale factor (default: matrix default)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		n        = flag.Int("n", benchSeq, "bench sequence number (names the default output file)")
+		out      = flag.String("out", "", "output path (default BENCH_<n>.json)")
+		wls      = flag.String("workloads", "", "comma-separated workloads (default: fixed matrix)")
+		pfs      = flag.String("prefetchers", "", "comma-separated prefetchers (default: fixed matrix)")
+		parallel = flag.Int("parallel", 0, "warm-up pass workers (0 = GOMAXPROCS); the timed pass is always sequential")
+		compare  = flag.Bool("compare", false, "compare two reports (old.json new.json) and exit 1 on regression")
+		verbose  = flag.Bool("v", false, "log per-entry measurements")
+		quiet    = flag.Bool("q", false, "suppress progress logging (errors still print)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "bench", *quiet, *verbose)
+	if *compare {
+		if flag.NArg() != 2 {
+			logger.Error("-compare needs exactly two report paths (old new)", "args", flag.Args())
+			return harness.ExitUsage
+		}
+		oldRep, err := loadReport(flag.Arg(0))
+		if err != nil {
+			logger.Error("loading old report", "err", err)
+			return harness.ExitRunFailed
+		}
+		newRep, err := loadReport(flag.Arg(1))
+		if err != nil {
+			logger.Error("loading new report", "err", err)
+			return harness.ExitRunFailed
+		}
+		deltas, err := Compare(oldRep, newRep)
+		if err != nil {
+			logger.Error("comparing reports", "err", err)
+			return harness.ExitRunFailed
+		}
+		if renderCompare(os.Stdout, flag.Arg(0), flag.Arg(1), deltas) > 0 {
+			return harness.ExitRunFailed
+		}
+		return harness.ExitOK
+	}
 	if flag.NArg() > 0 {
 		logger.Error("unexpected arguments", "args", flag.Args())
 		return harness.ExitUsage
@@ -279,6 +379,7 @@ func run() int {
 	}
 	m.Bench = *n
 	m.Seed = *seed
+	m.WarmParallel = *parallel
 	if *scale > 0 {
 		m.Scale = *scale
 	}

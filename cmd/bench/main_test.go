@@ -43,9 +43,10 @@ func TestQuickMatrixReport(t *testing.T) {
 func TestValidateRejectsMalformed(t *testing.T) {
 	m := Matrix{Workloads: []string{"list"}, Prefetchers: []string{"none"}}
 	good := Report{
-		Schema:      1,
-		Entries:     []Entry{{Workload: "list", Prefetcher: "none", Accesses: 10, WallNS: 5, NSPerAccess: 0.5, IPC: 1}},
-		TotalWallNS: 5,
+		Schema:           1,
+		TimedParallelism: 1,
+		Entries:          []Entry{{Workload: "list", Prefetcher: "none", Accesses: 10, WallNS: 5, NSPerAccess: 0.5, IPC: 1}},
+		TotalWallNS:      5,
 	}
 	if err := good.Validate(m); err != nil {
 		t.Fatalf("valid report rejected: %v", err)
@@ -64,5 +65,76 @@ func TestValidateRejectsMalformed(t *testing.T) {
 	bad.Entries = []Entry{{Workload: "list", Prefetcher: "none"}}
 	if err := bad.Validate(m); err == nil {
 		t.Error("zero-work entry accepted")
+	}
+	bad = good
+	bad.TimedParallelism = 4
+	if err := bad.Validate(m); err == nil {
+		t.Error("parallel timed pass accepted; timings are only valid sequentially")
+	}
+}
+
+// benchReport builds a minimal report for compare tests.
+func benchReport(cells map[string][2]float64) *Report {
+	rep := &Report{Schema: 1, TimedParallelism: 1}
+	for key, v := range cells {
+		var wl, pf string
+		for i := 0; i < len(key); i++ {
+			if key[i] == '|' {
+				wl, pf = key[:i], key[i+1:]
+			}
+		}
+		rep.Entries = append(rep.Entries, Entry{
+			Workload: wl, Prefetcher: pf, Accesses: 1000, WallNS: int64(v[0] * 1000),
+			NSPerAccess: v[0], AllocsPerAccess: v[1], IPC: 1,
+		})
+	}
+	return rep
+}
+
+// TestCompareRegressionGate pins the -compare thresholds: >10% ns/access
+// or any real allocs/access growth regresses; anything within tolerance
+// passes, including improvements.
+func TestCompareRegressionGate(t *testing.T) {
+	oldRep := benchReport(map[string][2]float64{
+		"list|none":    {100, 0.001},
+		"list|context": {400, 0.001},
+		"mcf|context":  {500, 0.001},
+	})
+	cases := []struct {
+		name      string
+		cells     map[string][2]float64
+		regressed int
+	}{
+		{"identical", map[string][2]float64{
+			"list|none": {100, 0.001}, "list|context": {400, 0.001}, "mcf|context": {500, 0.001}}, 0},
+		{"within-tolerance", map[string][2]float64{
+			"list|none": {109, 0.001}, "list|context": {430, 0.002}, "mcf|context": {450, 0.001}}, 0},
+		{"ns-regression", map[string][2]float64{
+			"list|none": {100, 0.001}, "list|context": {450, 0.001}, "mcf|context": {500, 0.001}}, 1},
+		{"alloc-regression", map[string][2]float64{
+			"list|none": {100, 1.5}, "list|context": {400, 0.001}, "mcf|context": {500, 0.001}}, 1},
+		{"both-cells", map[string][2]float64{
+			"list|none": {120, 0.001}, "list|context": {400, 2.0}, "mcf|context": {500, 0.001}}, 2},
+		{"matrix-evolved", map[string][2]float64{
+			"list|none": {100, 0.001}, "new|cell": {999, 9}}, 0},
+	}
+	for _, tc := range cases {
+		deltas, err := Compare(oldRep, benchReport(tc.cells))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := 0
+		for _, d := range deltas {
+			if d.Regressed {
+				got++
+			}
+		}
+		if got != tc.regressed {
+			t.Errorf("%s: %d regressions, want %d (%+v)", tc.name, got, tc.regressed, deltas)
+		}
+	}
+	// No shared cells: must be an error, not a silent pass.
+	if _, err := Compare(oldRep, benchReport(map[string][2]float64{"x|y": {1, 0}})); err == nil {
+		t.Error("disjoint reports compared without error")
 	}
 }

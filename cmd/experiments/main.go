@@ -114,6 +114,23 @@ func run() int {
 	logger.Info("starting", "experiments", len(selected), "scale", *scale, "seed", *seed,
 		"obs_dir", *obsDir)
 
+	// Pre-warm: fan the union of the selected experiments' simulation
+	// matrices across the worker pool in one deduplicated batch. The
+	// rendering loop below then reads memoized results in output order, so
+	// cross-workload parallelism no longer depends on any one figure's
+	// internal concurrency. Individual job failures are left for the owning
+	// experiment to report in context; only batch-level corruption (a
+	// mutated shared trace) aborts here.
+	if warm := exp.PrewarmJobs(selected); len(warm) > 0 && ctx.Err() == nil {
+		start := time.Now()
+		if _, err := runner.RunJobs(warm); err != nil {
+			logger.Error("pre-warm batch integrity check failed", "err", err)
+			return harness.ExitRunFailed
+		}
+		logger.Info("pre-warm complete", "jobs", len(warm),
+			"duration", time.Since(start).Round(time.Millisecond))
+	}
+
 	completed, failed := 0, 0
 	for i, e := range selected {
 		if ctx.Err() != nil {

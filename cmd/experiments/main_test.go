@@ -26,20 +26,22 @@ func TestInterruptCancelsRun(t *testing.T) {
 	}
 
 	cmd := exec.Command(bin, "-run", "fig12", "-scale", "2")
-	stdout, err := cmd.StdoutPipe()
+	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd.Stderr = io.Discard
+	cmd.Stdout = io.Discard
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("starting experiments: %v", err)
 	}
 
-	// Wait for the experiment header so we interrupt mid-run, not during
-	// startup, then keep draining so the child never blocks on a full pipe.
-	br := bufio.NewReader(stdout)
+	// Wait for the "starting" progress log so we interrupt mid-run (during
+	// the pre-warm simulation batch — tables only reach stdout after it),
+	// not during startup, then keep draining so the child never blocks on a
+	// full pipe.
+	br := bufio.NewReader(stderr)
 	if _, err := br.ReadString('\n'); err != nil {
-		t.Fatalf("reading first output line: %v", err)
+		t.Fatalf("reading first progress line: %v", err)
 	}
 	go io.Copy(io.Discard, br)
 

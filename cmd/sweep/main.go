@@ -6,23 +6,28 @@
 //
 //	sweep -workload list -param epsilon -values 0,0.02,0.05,0.1,0.2
 //	sweep -workload mcf -param maxdegree -values 1,2,4,8 -scale 0.5
+//	sweep -workload list -param epsilon -values 0,0.1 -parallel 8
 //	sweep -params                      # list sweepable parameters
 //
 // Every -values entry is parsed and validated up front, before the
 // expensive baseline simulation, so a typo in the last value fails fast.
-// SIGINT/SIGTERM cancel in-flight simulations; the partial table is
-// printed. The result table goes to stdout; progress and diagnostics go
-// to stderr as structured logs (-q silences them). Exit codes:
-// 0 completed, 1 a run failed, 2 usage error, 3 cancelled (see DESIGN.md,
-// "Failure model").
+// Sweep points run on the experiment engine's worker pool (-parallel,
+// default GOMAXPROCS); each point's RNG seed derives from its coordinates,
+// so the table is bit-identical at any parallelism. SIGINT/SIGTERM cancel
+// in-flight simulations; the partial table is printed. The result table
+// goes to stdout; progress and diagnostics go to stderr as structured logs
+// (-q silences them). Exit codes: 0 completed, 1 a run failed, 2 usage
+// error, 3 cancelled (see DESIGN.md, "Failure model").
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,12 +35,10 @@ import (
 	"time"
 
 	"semloc/internal/core"
+	"semloc/internal/exp"
 	"semloc/internal/harness"
 	"semloc/internal/obs"
-	"semloc/internal/prefetch"
-	"semloc/internal/sim"
 	"semloc/internal/stats"
-	"semloc/internal/trace"
 	"semloc/internal/workloads"
 )
 
@@ -137,26 +140,31 @@ func validateValues(p param, values string) ([]sweepPoint, error) {
 	return points, nil
 }
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload  = flag.String("workload", "list", "workload name")
-		paramName = flag.String("param", "", "parameter to sweep (see -params)")
-		values    = flag.String("values", "", "comma-separated parameter values")
-		scale     = flag.Float64("scale", 0.3, "workload scale factor")
-		seed      = flag.Uint64("seed", 1, "workload seed")
-		list      = flag.Bool("params", false, "list sweepable parameters")
-		stall     = flag.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
-		quiet     = flag.Bool("q", false, "suppress progress logging (errors still print)")
+		workload  = fs.String("workload", "list", "workload name")
+		paramName = fs.String("param", "", "parameter to sweep (see -params)")
+		values    = fs.String("values", "", "comma-separated parameter values")
+		scale     = fs.Float64("scale", 0.3, "workload scale factor")
+		seed      = fs.Uint64("seed", 1, "workload seed")
+		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		list      = fs.Bool("params", false, "list sweepable parameters")
+		stall     = fs.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
+		quiet     = fs.Bool("q", false, "suppress progress logging (errors still print)")
 	)
-	flag.Parse()
-	logger := obs.NewLogger(os.Stderr, "sweep", *quiet, false)
+	if err := fs.Parse(args); err != nil {
+		return harness.ExitUsage
+	}
+	logger := obs.NewLogger(stderr, "sweep", *quiet, false)
 
 	if *list {
 		sort.Slice(params, func(i, j int) bool { return params[i].name < params[j].name })
 		for _, p := range params {
-			fmt.Printf("%-12s %s\n", p.name, p.desc)
+			fmt.Fprintf(stdout, "%-12s %s\n", p.name, p.desc)
 		}
 		return harness.ExitOK
 	}
@@ -175,73 +183,86 @@ func run() int {
 		logger.Error("invalid sweep values", "err", err)
 		return harness.ExitUsage
 	}
-	w, err := workloads.ByName(*workload)
-	if err != nil {
+	if _, err := workloads.ByName(*workload); err != nil {
 		logger.Error("unknown workload", "err", err)
 		return harness.ExitUsage
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	rc := harness.RunConfig{StallTimeout: *stall}
 
-	var tr *trace.Trace
-	if err := harness.Safely(func() error {
-		tr = w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
-		return nil
-	}); err != nil {
-		logger.Error("generating workload", "workload", *workload, "err", err)
-		return harness.ExitRunFailed
+	opts := exp.DefaultOptions()
+	opts.Scale = *scale
+	opts.Seed = *seed
+	opts.Parallelism = *parallel
+	opts.Harness = harness.RunConfig{StallTimeout: *stall}
+	runner := exp.NewRunnerContext(ctx, opts)
+
+	// Job 0 is the shared no-prefetch baseline; jobs 1..n are the sweep
+	// points, each a parameterised run whose seed derives from its point
+	// index — the schedule (and -parallel) cannot change the table.
+	jobs := make([]exp.Job, 0, 1+len(points))
+	jobs = append(jobs, exp.Job{Workload: *workload, Prefetcher: "none"})
+	for i, pt := range points {
+		cfg := pt.cfg
+		jobs = append(jobs, exp.Job{Workload: *workload, Prefetcher: "context", Point: i, Config: &cfg})
 	}
-	machine := sim.DefaultConfig()
 
+	eff := *parallel
+	if eff <= 0 {
+		eff = runtime.GOMAXPROCS(0)
+	}
 	start := time.Now()
-	base, err := harness.Run(ctx, tr, prefetch.NewNone(), machine, rc)
-	if err != nil {
-		if harness.IsCancelled(err) {
-			logger.Error("cancelled")
-			return harness.ExitCancelled
-		}
-		logger.Error("baseline run failed", "err", err)
-		return harness.ExitRunFailed
-	}
-	logger.Info("baseline complete", "workload", *workload, "prefetcher", "none",
-		"duration", time.Since(start).Round(time.Millisecond))
+	results, batchErr := runner.RunJobs(jobs)
+	logger.Info("sweep batch complete", "workload", *workload, "param", *paramName,
+		"points", len(points), "parallel", eff)
 
 	tb := stats.NewTable(
 		fmt.Sprintf("sweep %s over %s on %s (scale %g)", *paramName, *values, *workload, *scale),
 		*paramName, "speedup", "IPC", "L1 MPKI", "accuracy", "real-prefetches", "storage")
 	failed, cancelled := 0, false
-	for _, pt := range points {
-		if ctx.Err() != nil {
+
+	base := results[0]
+	switch {
+	case base.Err != nil && harness.IsCancelled(base.Err):
+		cancelled = true
+	case base.Err != nil:
+		logger.Error("baseline run failed", "err", base.Err)
+		failed++
+	case base.Result.IPC() == 0:
+		logger.Error("baseline IPC is zero")
+		failed++
+	}
+	for i, pt := range points {
+		jr := results[1+i]
+		switch {
+		case jr.Err != nil && harness.IsCancelled(jr.Err):
 			cancelled = true
-			break
+			continue
+		case jr.Err != nil:
+			logger.Error("sweep point failed", "value", pt.value, "err", jr.Err)
+			failed++
+			continue
+		case base.Err != nil || base.Result.IPC() == 0:
+			continue // speedup undefined without the baseline
 		}
-		pf, err := core.New(pt.cfg)
-		if err != nil {
-			// Validated above, so this indicates a bug; still report cleanly.
-			logger.Error("building prefetcher", "value", pt.value, "err", err)
-			return harness.ExitUsage
-		}
-		start := time.Now()
-		res, err := harness.Run(ctx, tr, pf, machine, rc)
-		if err != nil {
-			if harness.IsCancelled(err) {
-				cancelled = true
-				break
-			}
-			logger.Error("sweep point failed", "value", pt.value, "err", err)
+		pf, ok := jr.Prefetcher.(*core.Prefetcher)
+		if !ok {
+			logger.Error("sweep point returned no context prefetcher", "value", pt.value)
 			failed++
 			continue
 		}
-		logger.Info("sweep point complete", "workload", *workload, "param", *paramName,
-			"value", pt.value, "duration", time.Since(start).Round(time.Millisecond))
 		m := pf.Metrics()
-		tb.AddRow(pt.value, res.IPC()/base.IPC(), res.IPC(), res.L1MPKI(), pf.Accuracy(),
+		tb.AddRow(pt.value, jr.Result.IPC()/base.Result.IPC(), jr.Result.IPC(), jr.Result.L1MPKI(), pf.Accuracy(),
 			m.RealPrefetches, fmt.Sprintf("%dkB", pt.cfg.StorageBytes()>>10))
 	}
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
+	logger.Info("sweep complete", "duration", time.Since(start).Round(time.Millisecond))
+
 	switch {
+	case batchErr != nil:
+		logger.Error("batch integrity check failed", "err", batchErr)
+		return harness.ExitRunFailed
 	case cancelled:
 		logger.Error("cancelled; partial results above")
 		return harness.ExitCancelled

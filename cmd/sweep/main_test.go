@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semloc/internal/harness"
+)
+
+// sweepOut runs the sweep CLI and returns (stdout, exit code).
+func sweepOut(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), code
+}
+
+// TestSweepParallelGolden is the CLI-level determinism check: the rendered
+// sweep table must be byte-identical at -parallel 1 and -parallel 8.
+func TestSweepParallelGolden(t *testing.T) {
+	args := []string{"-workload", "list", "-param", "epsilon",
+		"-values", "0,0.1,0.2", "-scale", "0.05", "-q"}
+	seq, code := sweepOut(t, append([]string{"-parallel", "1"}, args...)...)
+	if code != harness.ExitOK {
+		t.Fatalf("sequential sweep exited %d:\n%s", code, seq)
+	}
+	par, code := sweepOut(t, append([]string{"-parallel", "8"}, args...)...)
+	if code != harness.ExitOK {
+		t.Fatalf("parallel sweep exited %d:\n%s", code, par)
+	}
+	if seq != par {
+		t.Errorf("sweep table differs between -parallel 1 and 8:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	for _, want := range []string{"epsilon", "speedup", "0.1"} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, seq)
+		}
+	}
+}
+
+func TestSweepUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-param", "bogus", "-values", "1"},
+		{"-param", "epsilon"},                  // missing -values
+		{"-param", "epsilon", "-values", "zz"}, // unparsable value
+		{"-param", "epsilon", "-values", "0.1", "-workload", "no-such"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if _, code := sweepOut(t, append(args, "-q")...); code != harness.ExitUsage {
+			t.Errorf("sweep %v exited %d, want %d", args, code, harness.ExitUsage)
+		}
+	}
+}
+
+func TestSweepListParams(t *testing.T) {
+	out, code := sweepOut(t, "-params")
+	if code != harness.ExitOK {
+		t.Fatalf("-params exited %d", code)
+	}
+	for _, p := range []string{"epsilon", "maxdegree", "policy"} {
+		if !strings.Contains(out, p) {
+			t.Errorf("-params output missing %q", p)
+		}
+	}
+}

@@ -5,34 +5,43 @@
 // Usage:
 //
 //	tracegen -workload list -o list.trace [-scale 1] [-seed 1] [-gzip]
+//
+// Exit codes: 0 ok, 1 generation or write failed, 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"semloc/internal/trace"
 	"semloc/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "", "workload name (see prefetchsim -list)")
-		out      = flag.String("o", "", "output file (default <workload>.trace)")
-		scale    = flag.Float64("scale", 1, "workload scale factor")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		gz       = flag.Bool("gzip", false, "gzip-compress the output")
+		workload = fs.String("workload", "", "workload name (see prefetchsim -list)")
+		out      = fs.String("o", "", "output file (default <workload>.trace)")
+		scale    = fs.Float64("scale", 1, "workload scale factor")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		gz       = fs.Bool("gzip", false, "gzip-compress the output")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *workload == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: -workload required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tracegen: -workload required")
+		return 2
 	}
 	w, err := workloads.ByName(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 2
 	}
 	path := *out
 	if path == "" {
@@ -43,13 +52,13 @@ func main() {
 	}
 	tr := w.Generate(workloads.GenConfig{Scale: *scale, Seed: *seed})
 	if err := tr.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen: generated invalid trace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen: generated invalid trace:", err)
+		return 1
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
 	write := trace.Write
 	if *gz {
@@ -57,15 +66,16 @@ func main() {
 	}
 	if err := write(f, tr); err != nil {
 		f.Close()
-		fmt.Fprintln(os.Stderr, "tracegen: writing trace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen: writing trace:", err)
+		return 1
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
 	st := tr.ComputeStats()
 	info, _ := os.Stat(path)
-	fmt.Printf("wrote %s: %d records (%d instructions, %d loads, %d stores), %d bytes\n",
+	fmt.Fprintf(stdout, "wrote %s: %d records (%d instructions, %d loads, %d stores), %d bytes\n",
 		path, st.Records, st.Instructions, st.Loads, st.Stores, info.Size())
+	return 0
 }

@@ -7,11 +7,14 @@
 //	traceinfo file.trace
 //	traceinfo -reuse file.trace           # stack-distance profile
 //	traceinfo -dump 100 -at 5000 file.trace
+//
+// Exit codes: 0 ok, 1 unreadable or invalid trace, 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"semloc/internal/cache"
@@ -21,31 +24,37 @@ import (
 	"semloc/internal/trace"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dump = flag.Int("dump", 0, "dump this many records")
-		at   = flag.Int("at", 0, "start dumping at this record index")
-		doRe = flag.Bool("reuse", false, "print the LRU stack-distance profile and implied miss ratios")
+		dump = fs.Int("dump", 0, "dump this many records")
+		at   = fs.Int("at", 0, "start dumping at this record index")
+		doRe = fs.Bool("reuse", false, "print the LRU stack-distance profile and implied miss ratios")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceinfo [-dump N -at I] file.trace")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	f, err := os.Open(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: traceinfo [-dump N -at I] file.trace")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "traceinfo:", err)
+		return 1
 	}
 	defer f.Close()
 	tr, err := trace.Read(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "traceinfo:", err)
+		return 1
 	}
 	if err := tr.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo: trace fails validation:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "traceinfo: trace fails validation:", err)
+		return 1
 	}
 	st := tr.ComputeStats()
 	tb := stats.NewTable("trace "+tr.Name, "metric", "value")
@@ -57,11 +66,11 @@ func main() {
 	tb.AddRow("dependent loads", fmt.Sprintf("%d (%.1f%% of loads)", st.Dependent, pct(st.Dependent, st.Loads)))
 	tb.AddRow("hinted accesses", fmt.Sprintf("%d (%.1f%% of memory ops)", st.Hinted, pct(st.Hinted, st.Loads+st.Stores)))
 	tb.AddRow("warmup marker at", st.WarmupIndex)
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
 
 	if *doRe {
 		prof := reuse.Analyze(tr, 1<<20)
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		rt := stats.NewTable("reuse profile", "metric", "value")
 		rt.AddRow("profiled accesses", prof.Accesses)
 		rt.AddRow("cold (first-touch)", prof.Cold)
@@ -72,11 +81,11 @@ func main() {
 		cfg := cache.DefaultConfig()
 		rt.AddRow("implied fully-assoc L1 miss ratio", fmt.Sprintf("%.4f", prof.MissRatio(cfg.L1.Size/memmodel.LineSize)))
 		rt.AddRow("implied fully-assoc L2 miss ratio", fmt.Sprintf("%.4f", prof.MissRatio(cfg.L2.Size/memmodel.LineSize)))
-		rt.Render(os.Stdout)
+		rt.Render(stdout)
 	}
 
 	if *dump > 0 {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		end := *at + *dump
 		if end > len(tr.Records) {
 			end = len(tr.Records)
@@ -85,9 +94,9 @@ func main() {
 			r := &tr.Records[i]
 			switch r.Kind {
 			case trace.KindCompute:
-				fmt.Printf("%8d  compute x%d\n", i, r.Count)
+				fmt.Fprintf(stdout, "%8d  compute x%d\n", i, r.Count)
 			case trace.KindBranch:
-				fmt.Printf("%8d  branch pc=%#x taken=%v\n", i, r.PC, r.Taken)
+				fmt.Fprintf(stdout, "%8d  branch pc=%#x taken=%v\n", i, r.PC, r.Taken)
 			case trace.KindLoad, trace.KindStore:
 				dep := ""
 				if r.Dep != trace.NoDep {
@@ -97,12 +106,13 @@ func main() {
 				if r.Hints.Valid {
 					hint = fmt.Sprintf(" [type=%d linkoff=%d %s]", r.Hints.TypeID, r.Hints.LinkOffset, r.Hints.RefForm)
 				}
-				fmt.Printf("%8d  %-5s pc=%#x addr=%v size=%d%s%s\n", i, r.Kind, r.PC, r.Addr, r.Size, dep, hint)
+				fmt.Fprintf(stdout, "%8d  %-5s pc=%#x addr=%v size=%d%s%s\n", i, r.Kind, r.PC, r.Addr, r.Size, dep, hint)
 			case trace.KindWarmupEnd:
-				fmt.Printf("%8d  warmup-end\n", i)
+				fmt.Fprintf(stdout, "%8d  warmup-end\n", i)
 			}
 		}
 	}
+	return 0
 }
 
 func pct(a, b uint64) float64 {

@@ -388,3 +388,48 @@ func TestL2WritebackOnDirtyEviction(t *testing.T) {
 		t.Error("dirty L2 evictions must count write-backs")
 	}
 }
+
+// TestResetMatchesFresh drives a mixed demand/prefetch sequence through a
+// reset hierarchy and a freshly built one and requires bit-identical
+// outcomes and statistics: the contract that lets the run-scratch pool
+// (sim.RunPool) recycle hierarchies across simulation runs.
+func TestResetMatchesFresh(t *testing.T) {
+	cfg := smallConfig()
+	drive := func(h *Hierarchy) ([]Result, LevelStats, LevelStats) {
+		var out []Result
+		now := Cycle(0)
+		for i := 0; i < 64; i++ {
+			addr := memmodel.Addr((i * 37) % 41 * memmodel.LineSize)
+			var res Result
+			switch i % 3 {
+			case 0:
+				res = h.Access(addr, now)
+			case 1:
+				res = h.AccessWrite(addr+8, now)
+			default:
+				h.Prefetch(addr+memmodel.Addr(memmodel.LineSize), now)
+				res = h.Access(addr, now)
+			}
+			out = append(out, res)
+			now = res.Done + 3
+		}
+		h.FinishStats()
+		l1, l2 := h.Stats()
+		return out, l1, l2
+	}
+
+	used := MustNew(cfg)
+	drive(used) // dirty it thoroughly
+	used.Reset()
+	gotRes, gotL1, gotL2 := drive(used)
+	wantRes, wantL1, wantL2 := drive(MustNew(cfg))
+
+	for i := range wantRes {
+		if gotRes[i] != wantRes[i] {
+			t.Fatalf("access %d diverged after Reset: got %+v want %+v", i, gotRes[i], wantRes[i])
+		}
+	}
+	if gotL1 != wantL1 || gotL2 != wantL2 {
+		t.Errorf("stats diverged after Reset:\n got %+v / %+v\nwant %+v / %+v", gotL1, gotL2, wantL1, wantL2)
+	}
+}

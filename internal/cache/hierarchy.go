@@ -100,6 +100,18 @@ func MustNew(cfg Config) *Hierarchy {
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// Reset returns the hierarchy to its just-constructed state in place —
+// every line invalid, all MSHRs and DRAM channels free, statistics zeroed —
+// without reallocating the way arrays. A reset hierarchy must behave
+// bit-identically to a freshly built one; the run-scratch pool
+// (sim.RunPool) relies on this to recycle hierarchies across runs.
+func (h *Hierarchy) Reset() {
+	h.l1.reset()
+	h.l2.reset()
+	h.pfQue.reset()
+	h.dram.reset()
+}
+
 // Access performs a demand load to the line containing addr at cycle now
 // and returns when and where it was satisfied.
 func (h *Hierarchy) Access(addr memmodel.Addr, now Cycle) Result {

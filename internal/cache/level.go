@@ -69,6 +69,18 @@ func newLevel(cfg LevelConfig) *level {
 	return l
 }
 
+// reset returns the level to its just-constructed state in place, keeping
+// the way and MSHR storage (the run-scratch pool recycles hierarchies
+// across simulation runs).
+func (l *level) reset() {
+	for i := range l.sets {
+		clear(l.sets[i])
+	}
+	l.lruClock = 0
+	l.mshr.reset()
+	l.stats = LevelStats{Name: l.cfg.Name}
+}
+
 func (l *level) setOf(line memmodel.Line) []way {
 	return l.sets[uint64(line)&l.setMask]
 }
@@ -161,6 +173,11 @@ type mshrFile struct {
 
 func newMSHRFile(n int) mshrFile {
 	return mshrFile{busyUntil: make([]Cycle, n)}
+}
+
+// reset frees every register in place.
+func (m *mshrFile) reset() {
+	clear(m.busyUntil)
 }
 
 // acquire reserves a register for a miss issued at time t that will need

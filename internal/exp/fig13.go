@@ -1,13 +1,12 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"semloc/internal/core"
-	"semloc/internal/sim"
 	"semloc/internal/stats"
 )
 
@@ -23,42 +22,62 @@ var fig13Workloads = []string{
 	"graph500-list", "omnetpp", "array", "libquantum", "hmmer",
 }
 
+// fig13Jobs builds the storage sweep's job matrix: the shared no-prefetch
+// baselines (named, memoized) followed by one parameterised context run
+// per (workload, CST size).
+func fig13Jobs() []Job {
+	jobs := make([]Job, 0, len(fig13Workloads)*(1+len(fig13Sizes)))
+	for _, wl := range fig13Workloads {
+		jobs = append(jobs, Job{Workload: wl, Prefetcher: "none"})
+	}
+	for si, size := range fig13Sizes {
+		cfg := fig13Config(size)
+		for _, wl := range fig13Workloads {
+			jobs = append(jobs, Job{Workload: wl, Prefetcher: "context", Point: si, Config: &cfg})
+		}
+	}
+	return jobs
+}
+
 // RunFig13 regenerates Figure 13: average speedup as a function of the
 // context prefetcher's storage size, for the ten workloads that benefit
 // most (Top10) and for the whole sweep set (All). The paper's point is
 // that bigger is not monotonically better for a learning prefetcher.
 func RunFig13(r *Runner, w io.Writer) error {
-	type cell struct {
-		size    int
-		speedup map[string]float64
+	jobs := fig13Jobs()
+	results, err := r.RunJobs(jobs)
+	if err != nil {
+		return err
 	}
-	cells := make([]cell, len(fig13Sizes))
 
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(fig13Sizes)*len(fig13Workloads))
-	var mu sync.Mutex
-	for si, size := range fig13Sizes {
-		cells[si] = cell{size: size, speedup: make(map[string]float64)}
-		for _, wl := range fig13Workloads {
-			si, size, wl := si, size, wl
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				s, err := fig13Speedup(r, wl, size)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				mu.Lock()
-				cells[si].speedup[wl] = s
-				mu.Unlock()
-			}()
+	var errs []error
+	baseIPC := make(map[string]float64, len(fig13Workloads))
+	cells := make([]map[string]float64, len(fig13Sizes))
+	for i := range cells {
+		cells[i] = make(map[string]float64)
+	}
+	for _, jr := range results {
+		if jr.Err != nil {
+			errs = append(errs, jr.Err)
+			continue
+		}
+		if jr.Job.Config == nil {
+			baseIPC[jr.Job.Workload] = jr.Result.IPC()
 		}
 	}
-	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
-		return err
+	for _, jr := range results {
+		if jr.Err != nil || jr.Job.Config == nil {
+			continue
+		}
+		base := baseIPC[jr.Job.Workload]
+		if base == 0 {
+			errs = append(errs, fmt.Errorf("exp: fig13: %s baseline IPC is zero or missing", jr.Job.Workload))
+			continue
+		}
+		cells[jr.Job.Point][jr.Job.Workload] = jr.Result.IPC() / base
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
 	}
 
 	// Top10 at the default size would be the paper's selection; with a
@@ -70,7 +89,7 @@ func RunFig13(r *Runner, w io.Writer) error {
 	}
 	var rank []ranked
 	for _, wl := range fig13Workloads {
-		rank = append(rank, ranked{wl, cells[baselineIdx].speedup[wl]})
+		rank = append(rank, ranked{wl, cells[baselineIdx][wl]})
 	}
 	sort.Slice(rank, func(i, j int) bool { return rank[i].s > rank[j].s })
 	top := make(map[string]bool)
@@ -79,16 +98,16 @@ func RunFig13(r *Runner, w io.Writer) error {
 	}
 
 	tb := stats.NewTable("Figure 13: speedup vs CST storage size", "CST entries", "storage", "speedup (Top)", "speedup (All)")
-	for _, c := range cells {
+	for si, size := range fig13Sizes {
 		var all, topv []float64
-		for wl, s := range c.speedup {
+		for wl, s := range cells[si] {
 			all = append(all, s)
 			if top[wl] {
 				topv = append(topv, s)
 			}
 		}
-		cfg := fig13Config(c.size)
-		tb.AddRow(c.size, fmt.Sprintf("%dkB", cfg.StorageBytes()>>10), stats.Mean(topv), stats.Mean(all))
+		cfg := fig13Config(size)
+		tb.AddRow(size, fmt.Sprintf("%dkB", cfg.StorageBytes()>>10), stats.Mean(topv), stats.Mean(all))
 	}
 	tb.Render(w)
 	fmt.Fprintln(w, "expectation (paper): benefit peaks at mid sizes and does not keep improving with storage")
@@ -102,28 +121,6 @@ func fig13Config(cstEntries int) core.Config {
 	cfg.CSTEntries = cstEntries
 	cfg.ReducerEntries = cstEntries * 8
 	return cfg
-}
-
-// fig13Speedup runs the workload with a context prefetcher of the given
-// CST size and returns its speedup over the shared no-prefetch baseline.
-func fig13Speedup(r *Runner, workload string, cstEntries int) (float64, error) {
-	base, err := r.Result(workload, "none")
-	if err != nil {
-		return 0, err
-	}
-	tr, err := r.Trace(workload)
-	if err != nil {
-		return 0, err
-	}
-	pf, err := core.New(fig13Config(cstEntries))
-	if err != nil {
-		return 0, err
-	}
-	res, err := sim.Run(tr, pf, r.Options().Sim)
-	if err != nil {
-		return 0, err
-	}
-	return res.IPC() / base.IPC(), nil
 }
 
 func indexOf(xs []int, v int) int {

@@ -20,7 +20,8 @@ import (
 type Options struct {
 	// Scale is the workload scale factor (1 = standard size).
 	Scale float64
-	// Seed drives the workload generators.
+	// Seed drives the workload generators and, via DeriveSeed, each run's
+	// exploration RNG.
 	Seed uint64
 	// Sim is the machine configuration (defaults to Table 2).
 	Sim sim.Config
@@ -39,6 +40,13 @@ type Options struct {
 	// see RunArtifact), plus a decision trace when Telemetry.DecisionRate
 	// is set. The directory is created on first use.
 	OutDir string
+	// Traces, when non-nil, shares an already-populated trace cache with
+	// this runner (cmd/bench decodes each trace once and reuses it across
+	// its warm-up and timed runners this way). The cache's generation
+	// parameters must match Scale and Seed; a mismatched cache is ignored
+	// and the runner builds a private one, since silently reusing traces
+	// generated under different parameters would corrupt every result.
+	Traces *TraceCache
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -51,20 +59,24 @@ func DefaultOptions() Options {
 // under the harness: a panicking or stalled (workload, prefetcher) pair
 // fails its own run without taking down the sweep, and cancelling the
 // runner's context stops in-flight simulations promptly.
+//
+// Traces live in a TraceCache (shared read-only across all concurrent
+// runs); per-run mutable scratch is recycled through a sim.RunPool, so a
+// long experiment matrix reaches a steady state where simulations stop
+// allocating cache hierarchies. RunJobs is the batch entry point with the
+// full determinism contract; Result/ResultsFor remain the memoized
+// per-pair API.
 type Runner struct {
-	opts Options
-	ctx  context.Context
+	opts   Options
+	ctx    context.Context
+	traces *TraceCache
+	pool   *sim.RunPool
 
 	mu      sync.Mutex
-	traces  map[string]*trace.Trace
 	results map[string]*sim.Result
 	errs    map[string]error
 	inFly   map[string]*sync.WaitGroup
 	sem     chan struct{}
-
-	// traceGenHook, when set, observes each actual generator invocation
-	// (tests use it to assert single-flight).
-	traceGenHook func(workload string)
 }
 
 // NewRunner creates a runner with a background context.
@@ -91,10 +103,20 @@ func NewRunnerContext(ctx context.Context, opts Options) *Runner {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
+	tc := opts.Traces
+	if tc != nil {
+		if s, sd := tc.Params(); s != opts.Scale || sd != opts.Seed {
+			tc = nil
+		}
+	}
+	if tc == nil {
+		tc = NewTraceCache(opts.Scale, opts.Seed)
+	}
 	return &Runner{
 		opts:    opts,
 		ctx:     ctx,
-		traces:  make(map[string]*trace.Trace),
+		traces:  tc,
+		pool:    sim.NewRunPool(),
 		results: make(map[string]*sim.Result),
 		errs:    make(map[string]error),
 		inFly:   make(map[string]*sync.WaitGroup),
@@ -105,104 +127,14 @@ func NewRunnerContext(ctx context.Context, opts Options) *Runner {
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
 
-// Trace returns the (cached) generated trace for a workload. Generation
-// runs under supervision: a panicking generator (e.g. heap exhaustion on
-// an oversized scale) fails only this workload, and cancelling the
-// runner's context returns promptly even mid-generation (the generator
-// goroutine is abandoned; its result is still memoized if it finishes).
-// Concurrent callers share one generation through the same single-flight
-// path Result uses — without it, every figure touching a workload first
-// would generate its trace redundantly (and large-scale generations would
-// multiply peak heap by the caller count).
+// Traces returns the runner's trace cache (shared or private); pass it to
+// another runner's Options.Traces to reuse the decoded traces.
+func (r *Runner) Traces() *TraceCache { return r.traces }
+
+// Trace returns the (cached) generated trace for a workload; see
+// TraceCache.Get for the single-flight and supervision contract.
 func (r *Runner) Trace(workload string) (*trace.Trace, error) {
-	// Trace keys live in the same inFly/errs maps as Result keys; result
-	// keys always contain "|", so the NUL-tagged form cannot collide.
-	key := workload + "\x00trace"
-
-	r.mu.Lock()
-	for {
-		if tr, ok := r.traces[workload]; ok {
-			r.mu.Unlock()
-			return tr, nil
-		}
-		if err, ok := r.errs[key]; ok {
-			r.mu.Unlock()
-			return nil, err
-		}
-		wg, running := r.inFly[key]
-		if !running {
-			break
-		}
-		r.mu.Unlock()
-		wg.Wait()
-		r.mu.Lock()
-	}
-	wg := &sync.WaitGroup{}
-	wg.Add(1)
-	r.inFly[key] = wg
-	r.mu.Unlock()
-
-	tr, err := r.generate(workload)
-
-	r.mu.Lock()
-	switch {
-	case err == nil:
-		// generate's goroutine memoized the trace already (it must, so an
-		// abandoned generation still lands); nothing more to store.
-	case harness.IsCancelled(err):
-		// Cancellation is a property of this attempt, not of the workload:
-		// don't memoize it.
-	default:
-		r.errs[key] = err
-	}
-	delete(r.inFly, key)
-	r.mu.Unlock()
-	wg.Done()
-	return tr, err
-}
-
-// generate produces the workload's trace under supervision. The generator
-// runs in its own goroutine so cancellation returns promptly; the goroutine
-// memoizes into r.traces itself so an abandoned generation is kept if it
-// eventually finishes.
-func (r *Runner) generate(workload string) (*trace.Trace, error) {
-	if err := r.ctx.Err(); err != nil {
-		return nil, fmt.Errorf("exp: generating %s: %w", workload, context.Cause(r.ctx))
-	}
-	w, err := workloads.ByName(workload)
-	if err != nil {
-		return nil, err
-	}
-	if r.traceGenHook != nil {
-		r.traceGenHook(workload)
-	}
-	done := make(chan error, 1)
-	var tr *trace.Trace
-	go func() {
-		done <- harness.Safely(func() error {
-			gen := w.Generate(workloads.GenConfig{Scale: r.opts.Scale, Seed: r.opts.Seed})
-			r.mu.Lock()
-			// An abandoned earlier generation may have landed meanwhile;
-			// keep the first.
-			if existing, ok := r.traces[workload]; ok {
-				gen = existing
-			} else {
-				r.traces[workload] = gen
-			}
-			r.mu.Unlock()
-			tr = gen
-			return nil
-		})
-	}()
-	select {
-	case err := <-done:
-		if err != nil {
-			return nil, fmt.Errorf("exp: generating %s: %w", workload, err)
-		}
-		return tr, nil
-	case <-r.ctx.Done():
-		return nil, fmt.Errorf("exp: generating %s: %w", workload, context.Cause(r.ctx))
-	}
+	return r.traces.Get(r.ctx, workload)
 }
 
 // Result runs (or returns the cached result of) workload under prefetcher.
@@ -250,20 +182,34 @@ func (r *Runner) Result(workload, prefetcher string) (*sim.Result, error) {
 	return res, err
 }
 
+// newPrefetcher builds the prefetcher for a named run. Context variants
+// get their exploration seed derived from (base seed, workload, name), so
+// every named run's random stream is a pure function of its coordinates —
+// the same property parameterised RunJobs runs have.
+func (r *Runner) newPrefetcher(workload, prefetcher string, tr *trace.Trace) (prefetch.Prefetcher, error) {
+	switch {
+	case prefetcher == "oracle":
+		// The limit-study oracle needs the trace itself.
+		return prefetch.NewOracle(tr, 0), nil
+	case isContextName(prefetcher):
+		cfg, err := contextConfigFor(prefetcher, workload, r.opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return NewContext(cfg)
+	default:
+		return NewPrefetcher(prefetcher)
+	}
+}
+
 func (r *Runner) run(workload, prefetcher string) (*sim.Result, error) {
 	tr, err := r.Trace(workload)
 	if err != nil {
 		return nil, err
 	}
-	var pf prefetch.Prefetcher
-	if prefetcher == "oracle" {
-		// The limit-study oracle needs the trace itself.
-		pf = prefetch.NewOracle(tr, 0)
-	} else {
-		pf, err = NewPrefetcher(prefetcher)
-		if err != nil {
-			return nil, err
-		}
+	pf, err := r.newPrefetcher(workload, prefetcher, tr)
+	if err != nil {
+		return nil, err
 	}
 	select {
 	case r.sem <- struct{}{}:
@@ -273,6 +219,7 @@ func (r *Runner) run(workload, prefetcher string) (*sim.Result, error) {
 	defer func() { <-r.sem }()
 
 	simCfg := r.opts.Sim
+	simCfg.Pool = r.pool
 	var decFile *os.File
 	if r.opts.Telemetry.Interval > 0 || r.opts.Telemetry.DecisionRate > 0 {
 		simCfg.Obs = r.opts.Telemetry

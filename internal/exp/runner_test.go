@@ -55,7 +55,7 @@ func TestTraceSingleFlight(t *testing.T) {
 	const callers = 16
 	r := tinyRunner()
 	var gens atomic.Int32
-	r.traceGenHook = func(string) { gens.Add(1) }
+	r.traces.genHook = func(string) { gens.Add(1) }
 
 	var wg sync.WaitGroup
 	traces := make([]*trace.Trace, callers)

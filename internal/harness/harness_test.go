@@ -38,7 +38,7 @@ func TestRunCompletes(t *testing.T) {
 // library-side bug or resource exhaustion inside a run.
 type panicPrefetcher struct{ value any }
 
-func (p *panicPrefetcher) Name() string                                  { return "panicking" }
+func (p *panicPrefetcher) Name() string                                     { return "panicking" }
 func (p *panicPrefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) { panic(p.value) }
 
 func TestRunRecoversPanic(t *testing.T) {
@@ -76,7 +76,7 @@ func TestRunRecoversTypedPanic(t *testing.T) {
 // deliberately-stalled-run test hook for the watchdog.
 type stallPrefetcher struct{ release chan struct{} }
 
-func (p *stallPrefetcher) Name() string                                  { return "stalling" }
+func (p *stallPrefetcher) Name() string                                     { return "stalling" }
 func (p *stallPrefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) { <-p.release }
 
 func TestWatchdogAbortsStalledRun(t *testing.T) {

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"semloc/internal/cache"
+	"semloc/internal/core"
+	"semloc/internal/prefetch"
+)
+
+// TestPooledRunsBitIdentical is the pooling correctness contract: a run on
+// recycled scratch must produce a Result structurally identical to a run
+// on fresh allocations, for both the trivial and the learning prefetcher.
+func TestPooledRunsBitIdentical(t *testing.T) {
+	pool := NewRunPool()
+	for _, wl := range []string{"list", "mcf"} {
+		tr := genTrace(t, wl, 0.05)
+		for _, mk := range []struct {
+			name string
+			pf   func() prefetch.Prefetcher
+		}{
+			{"none", func() prefetch.Prefetcher { return prefetch.NewNone() }},
+			{"context", func() prefetch.Prefetcher { return core.MustNew(core.DefaultConfig()) }},
+		} {
+			fresh := func() *Result {
+				res, err := Run(tr, mk.pf(), DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			pooled := func() *Result {
+				cfg := DefaultConfig()
+				cfg.Pool = pool
+				res, err := Run(tr, mk.pf(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			want := fresh()
+			// Run the pooled variant repeatedly so later iterations execute
+			// on scratch dirtied by earlier ones.
+			for i := 0; i < 3; i++ {
+				if got := pooled(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/%s: pooled run %d differs from fresh run", wl, mk.name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolRebuildsOnConfigChange ensures a pooled hierarchy built for one
+// cache configuration is not reused for a different one.
+func TestPoolRebuildsOnConfigChange(t *testing.T) {
+	pool := NewRunPool()
+	a := cache.DefaultConfig()
+	b := cache.DefaultConfig()
+	b.L1.Size = a.L1.Size / 2
+
+	s, err := pool.get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hierA := s.hier
+	pool.put(s)
+
+	s, err = pool.get(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.hier == hierA {
+		t.Fatal("pool reused a hierarchy across differing cache configs")
+	}
+	if s.hier.Config() != b {
+		t.Fatalf("rebuilt hierarchy has config %+v, want %+v", s.hier.Config(), b)
+	}
+	pool.put(s)
+
+	// Invalid config surfaces the construction error, not a stale scratch.
+	bad := cache.DefaultConfig()
+	bad.L1.Ways = 0
+	if _, err := pool.get(bad); err == nil {
+		t.Fatal("invalid cache config accepted by pool.get")
+	}
+}
+
+// TestNilPoolAllocatesFresh pins the disabled path: a nil pool must behave
+// exactly like the pre-pooling code.
+func TestNilPoolAllocatesFresh(t *testing.T) {
+	var rp *RunPool
+	s, err := rp.get(cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.hier == nil || s.plog == nil {
+		t.Fatal("nil pool returned incomplete scratch")
+	}
+	rp.put(s) // must not panic
+}

@@ -28,6 +28,11 @@ type Config struct {
 	// the simulation then runs the exact pre-telemetry hot path (one
 	// branch-on-nil per access) and produces bit-identical results.
 	Obs obs.Config
+	// Pool, when non-nil, recycles per-run scratch (cache hierarchy,
+	// branch-history buffer, prediction log) across runs sharing the pool.
+	// Pooled and unpooled runs are bit-identical; nil keeps the historic
+	// allocate-per-run behaviour.
+	Pool *RunPool `json:"-"`
 }
 
 // DefaultConfig returns the Table 2 machine.
@@ -110,16 +115,21 @@ func Run(tr *trace.Trace, pf prefetch.Prefetcher, cfg Config) (*Result, error) {
 // wrapping the cancellation cause. Callers that need watchdog supervision
 // and panic containment on top should run through the harness package.
 func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cfg Config) (*Result, error) {
-	hier, err := cache.New(cfg.Cache)
+	sc, err := cfg.Pool.get(cfg.Cache)
 	if err != nil {
 		return nil, err
 	}
+	// Returned unconditionally (error, cancellation, even panic unwind to
+	// the harness recover): get resets scratch before reuse, so a partially
+	// used scratch cannot poison a later run.
+	defer cfg.Pool.put(sc)
+	sc.hists = branchHistories(tr, sc.hists)
 	ad := &adapter{
-		hier:      hier,
+		hier:      sc.hier,
 		pf:        pf,
-		hists:     branchHistories(tr),
+		hists:     sc.hists,
 		hitDepths: stats.NewHistogram(192),
-		predLog:   newPredictionLog(512),
+		predLog:   sc.plog,
 	}
 	cpuCfg := cfg.CPU
 	col := obs.NewCollector(cfg.Obs) // nil when telemetry is disabled
@@ -139,9 +149,9 @@ func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cf
 		ad.progress = cpuCfg.Progress
 	}
 	cpuCfg.OnWarmupEnd = func(now cache.Cycle) {
-		hier.ResetStats()
+		ad.hier.ResetStats()
 		ad.cats = Categories{}
-		ad.hitDepths = stats.NewHistogram(192)
+		ad.hitDepths.Reset()
 		if r, ok := pf.(metricsResetter); ok {
 			r.ResetMetrics()
 		}
@@ -151,8 +161,8 @@ func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cf
 	if err != nil {
 		return nil, err
 	}
-	hier.FinishStats()
-	l1, l2 := hier.Stats()
+	ad.hier.FinishStats()
+	l1, l2 := ad.hier.Stats()
 	ad.cats.PrefetchNeverHit = l1.UselessEvicts
 	ad.cats.Demand = l1.Accesses
 	res := &Result{
@@ -189,10 +199,11 @@ func RunWorkload(name string, gen func() (*trace.Trace, error), pf prefetch.Pref
 }
 
 // branchHistories precomputes the global 16-bit branch history register at
-// each memory record, in record order. The adapter consumes them by
-// cursor, matching the CPU's in-order Access calls.
-func branchHistories(tr *trace.Trace) []uint16 {
-	var out []uint16
+// each memory record, in record order, appending into buf (whose capacity
+// is reused across pooled runs). The adapter consumes them by cursor,
+// matching the CPU's in-order Access calls.
+func branchHistories(tr *trace.Trace, buf []uint16) []uint16 {
+	out := buf[:0]
 	var hist uint16
 	for i := range tr.Records {
 		r := &tr.Records[i]
@@ -352,6 +363,13 @@ type predEntry struct {
 
 func newPredictionLog(capacity int) *predictionLog {
 	return &predictionLog{ring: make([]predEntry, capacity), pos: make(map[memmodel.Line]int, capacity)}
+}
+
+// reset clears the log in place for reuse by a pooled run.
+func (p *predictionLog) reset() {
+	clear(p.ring)
+	p.head = 0
+	clear(p.pos)
 }
 
 // add records a prediction of line at access index idx.

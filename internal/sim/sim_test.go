@@ -199,7 +199,7 @@ func TestBranchHistories(t *testing.T) {
 	e.Branch(0x3, false)
 	e.Branch(0x4, true)
 	e.Load(0x5, 0x200)
-	hists := branchHistories(e.Finish())
+	hists := branchHistories(e.Finish(), nil)
 	if len(hists) != 2 {
 		t.Fatalf("got %d histories, want 2", len(hists))
 	}

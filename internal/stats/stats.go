@@ -38,6 +38,13 @@ func (h *Histogram) Add(v int) {
 	h.total++
 }
 
+// Reset clears all observations in place, keeping the bucket storage (the
+// warm-up boundary and the run-scratch pool recycle histograms this way).
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.total = 0
+}
+
 // Count returns the number of observations equal to v (after clamping).
 func (h *Histogram) Count(v int) uint64 {
 	if v < 0 || v >= len(h.counts) {
