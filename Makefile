@@ -3,12 +3,14 @@
 # trace decoder (seed corpus under internal/trace/testdata/fuzz/) + a
 # quick-mode benchmark smoke that fails unless cmd/bench produces a
 # well-formed report + an overhead guard that pins the disabled-telemetry
-# hot path at zero allocations per access.
+# hot path at zero allocations per access + a race-enabled live
+# observability smoke (sweep with -listen, /metrics scraped mid-run,
+# leak-checked shutdown).
 
 GO ?= go
 BENCH_N ?= 3
 
-.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard check clean
+.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard obs-smoke check clean
 
 all: build
 
@@ -65,7 +67,17 @@ overhead-guard:
 		.overhead-guard.txt
 	rm -f .overhead-guard.txt
 
-check: vet build race fuzz bench-smoke overhead-guard
+# obs-smoke drives the live-observability loop end to end (DESIGN.md §13):
+# a sweep runs with -listen 127.0.0.1:0 and -spans, /metrics is scraped
+# while it executes, and the test asserts the listener (and its serving
+# goroutine) are gone after a clean exit plus that the span file parses.
+# Run under the race detector so a leaked goroutine or racy counter fails
+# loudly; vet rides along for the CI step that invokes this target alone.
+obs-smoke:
+	$(GO) vet ./...
+	$(GO) test -race -count=1 -run '^TestSweepLiveEndpoint$$' ./cmd/sweep
+
+check: vet build race fuzz bench-smoke overhead-guard obs-smoke
 
 clean:
 	rm -f .bench-smoke.json .overhead-guard.txt

@@ -27,7 +27,9 @@
 // is a leak).
 //
 // Progress and diagnostics go to stderr as structured logs (-q silences
-// them; -v adds per-entry measurements).
+// them; -v adds per-entry measurements). -listen serves live metrics
+// (Prometheus /metrics, expvar, pprof) for the duration of the benchmark;
+// -spans records a Perfetto-loadable span trace of both passes.
 //
 // The report is validated after writing (re-read, re-parsed, sanity
 // checked); a report that cannot be produced or fails validation exits
@@ -113,6 +115,12 @@ type Matrix struct {
 	// WarmParallel bounds the warm-up pass's workers (0 = GOMAXPROCS).
 	// The timed pass is always sequential regardless.
 	WarmParallel int
+	// Metrics and Spans, when non-nil, attach live observability to both
+	// passes (the -listen endpoint and the -spans trace file). The timed
+	// pass's instrumentation is cell-granular — two clock reads per cell —
+	// so it cannot perturb the per-access measurements.
+	Metrics *obs.Registry
+	Spans   *obs.SpanRecorder
 }
 
 // DefaultMatrix is the fixed matrix the perf trajectory tracks: the
@@ -162,6 +170,8 @@ func Run(ctx context.Context, m Matrix) (*Report, error) {
 	warmOpts.Scale = m.Scale
 	warmOpts.Seed = m.Seed
 	warmOpts.Parallelism = warmPar
+	warmOpts.Metrics = m.Metrics
+	warmOpts.Spans = m.Spans
 	warm := exp.NewRunnerContext(ctx, warmOpts)
 
 	jobs := make([]exp.Job, 0, len(m.Workloads)*len(m.Prefetchers))
@@ -187,6 +197,8 @@ func Run(ctx context.Context, m Matrix) (*Report, error) {
 	timedOpts.Seed = m.Seed
 	timedOpts.Parallelism = 1
 	timedOpts.Traces = warm.Traces()
+	timedOpts.Metrics = m.Metrics
+	timedOpts.Spans = m.Spans
 	r := exp.NewRunnerContext(ctx, timedOpts)
 
 	rep := &Report{
@@ -329,6 +341,8 @@ func run() int {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		listen     = flag.String("listen", "", "serve /metrics, /debug/vars and pprof on this address while the benchmark runs (empty host binds loopback)")
+		spansPath  = flag.String("spans", "", "write a Chrome trace-event span file (Perfetto-loadable) here on exit")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "bench", *quiet, *verbose)
@@ -400,6 +414,16 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	live, err := obs.StartLive(ctx, logger, *listen, *spansPath, 0)
+	if err != nil {
+		logger.Error("observability setup failed", "err", err)
+		return harness.ExitUsage
+	}
+	defer live.Close()
+	m.Metrics = live.Reg
+	m.Spans = live.Spans
+	live.Ready()
 
 	logger.Info("starting", "workloads", len(m.Workloads), "prefetchers", len(m.Prefetchers),
 		"scale", m.Scale, "out", path)

@@ -13,7 +13,9 @@
 // as structured logs (-q silences them). -obs-dir persists one JSON
 // artifact per (workload, prefetcher) run — result, final metrics,
 // learned-state summary, telemetry series — plus a decision trace when
-// -obs-rate is set; render them with cmd/inspect.
+// -obs-rate is set; render them with cmd/inspect. -listen serves live
+// metrics (Prometheus /metrics, expvar, pprof) for the duration of the
+// run; -spans records a Perfetto-loadable span trace of every cell.
 //
 // SIGINT/SIGTERM cancel in-flight simulations; results already printed
 // stand. Exit codes: 0 all experiments completed, 1 at least one
@@ -52,6 +54,8 @@ func run() int {
 		obsRate    = flag.Uint64("obs-rate", 0, "trace one in N prefetch decisions to a JSONL file (0 disables; requires -obs-dir)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		listen     = flag.String("listen", "", "serve /metrics, /debug/vars and pprof on this address while experiments run (empty host binds loopback)")
+		spansPath  = flag.String("spans", "", "write a Chrome trace-event span file (Perfetto-loadable) here on exit")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "experiments", *quiet, false)
@@ -81,12 +85,21 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	live, err := obs.StartLive(ctx, logger, *listen, *spansPath, 0)
+	if err != nil {
+		logger.Error("observability setup failed", "err", err)
+		return harness.ExitUsage
+	}
+	defer live.Close()
+
 	opts := exp.DefaultOptions()
 	opts.Scale = *scale
 	opts.Seed = *seed
 	opts.Parallelism = *par
 	opts.Harness = harness.RunConfig{StallTimeout: *stall}
 	opts.OutDir = *obsDir
+	opts.Metrics = live.Reg
+	opts.Spans = live.Spans
 	if *obsDir != "" {
 		ivl := *obsIvl
 		if ivl == 0 && *obsRate == 0 {
@@ -97,6 +110,7 @@ func run() int {
 		opts.Telemetry = obs.Config{Interval: ivl, DecisionRate: *obsRate}
 	}
 	runner := exp.NewRunnerContext(ctx, opts)
+	live.Ready()
 
 	var selected []exp.Experiment
 	if *runIDs == "" {

@@ -11,6 +11,13 @@
 //	inspect -run ... -deltas                                   # top-delta evolution
 //	inspect -run ... -validate                                 # parse + validate, exit 0/1
 //	inspect -decisions results/obs/list__context.decisions.jsonl
+//	inspect spans sweep.trace.json                             # -spans file summary
+//	inspect spans -top 20 sweep.trace.json
+//
+// The spans subcommand renders a span file recorded with a command's -spans
+// flag (the same Chrome trace-event JSON Perfetto loads): per-cell phase
+// timings (decode, queue-wait, warmup, measured), the slowest cells, and
+// worker-lane utilization.
 //
 // Exit codes follow the harness contract: 0 ok, 1 the artifact or trace
 // is missing/corrupt, 2 usage error.
@@ -36,6 +43,9 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
 // run is the testable entry point: it parses args with its own flag set
 // and writes primary output to stdout (unless -out redirects it).
 func run(args []string, stdout io.Writer) int {
+	if len(args) > 0 && args[0] == "spans" {
+		return runSpans(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
 	var (
 		runPath   = fs.String("run", "", "per-run artifact JSON (written by exp.Runner / -obs-dir)")

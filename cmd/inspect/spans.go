@@ -1,0 +1,139 @@
+package main
+
+// The "spans" subcommand renders a span file recorded by a command's -spans
+// flag (Chrome trace-event JSON, the same file Perfetto loads) as text: a
+// wall-clock and worker-utilization summary, the aggregate phase breakdown
+// (queue-wait vs simulation time), and the slowest cells with their
+// per-phase timings.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"semloc/internal/harness"
+	"semloc/internal/obs"
+	"semloc/internal/stats"
+)
+
+// runSpans is the "inspect spans FILE" entry point.
+func runSpans(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("inspect spans", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		top   = fs.Int("top", 10, "slowest cells to list")
+		quiet = fs.Bool("q", false, "suppress informational logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return harness.ExitUsage
+	}
+	logger := obs.NewLogger(os.Stderr, "inspect", *quiet, false)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "inspect spans: exactly one span file required")
+		return harness.ExitUsage
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		logger.Error("opening span file", "err", err)
+		return harness.ExitRunFailed
+	}
+	defer f.Close()
+	spans, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		logger.Error("parsing span file", "path", fs.Arg(0), "err", err)
+		return harness.ExitRunFailed
+	}
+	renderSpans(spans, fs.Arg(0), *top, stdout)
+	return harness.ExitOK
+}
+
+// phaseDur sums a span's phases with the given name.
+func phaseDur(s *obs.Span, name string) time.Duration {
+	var d time.Duration
+	for _, p := range s.Phases {
+		if p.Name == name {
+			d += p.Dur
+		}
+	}
+	return d
+}
+
+func renderSpans(spans []obs.Span, path string, top int, w io.Writer) {
+	var runs []obs.Span
+	var traceGen, wall, busy time.Duration
+	traces, failed := 0, 0
+	for _, s := range spans {
+		if end := s.Start + s.Dur; end > wall {
+			wall = end
+		}
+		busy += s.Dur
+		switch s.Cat {
+		case obs.CatTrace:
+			traces++
+			traceGen += s.Dur
+		default:
+			runs = append(runs, s)
+			if s.Err {
+				failed++
+			}
+		}
+	}
+	lanes := obs.Lanes(spans)
+	workers := 0
+	for _, l := range lanes {
+		if l+1 > workers {
+			workers = l + 1
+		}
+	}
+	util := 0.0
+	if workers > 0 && wall > 0 {
+		util = busy.Seconds() / (wall.Seconds() * float64(workers))
+	}
+	fmt.Fprintf(w, "span file %s: %d run spans (%d failed), %d trace generations\n",
+		path, len(runs), failed, traces)
+	fmt.Fprintf(w, "  wall %v, busy %v across %d worker lanes (utilization %.0f%%)\n",
+		wall.Round(time.Millisecond), busy.Round(time.Millisecond), workers, util*100)
+
+	// Aggregate phase breakdown: where did the busy time go?
+	var decode, queue, warmup, measured time.Duration
+	for i := range runs {
+		decode += phaseDur(&runs[i], obs.PhaseDecode)
+		queue += phaseDur(&runs[i], obs.PhaseQueueWait)
+		warmup += phaseDur(&runs[i], obs.PhaseWarmup)
+		measured += phaseDur(&runs[i], obs.PhaseMeasured)
+	}
+	pct := func(d time.Duration) string {
+		if busy == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("%.0f%%", 100*d.Seconds()/busy.Seconds())
+	}
+	bt := stats.NewTable("phase breakdown (totals across all spans)",
+		"phase", "total", "of busy")
+	bt.AddRow("trace-generate", traceGen.Round(time.Millisecond).String(), pct(traceGen))
+	bt.AddRow("decode-wait", decode.Round(time.Millisecond).String(), pct(decode))
+	bt.AddRow("queue-wait", queue.Round(time.Millisecond).String(), pct(queue))
+	bt.AddRow("warmup", warmup.Round(time.Millisecond).String(), pct(warmup))
+	bt.AddRow("measured", measured.Round(time.Millisecond).String(), pct(measured))
+	fmt.Fprintln(w)
+	bt.Render(w)
+
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Dur > runs[j].Dur })
+	if top > len(runs) {
+		top = len(runs)
+	}
+	st := stats.NewTable(fmt.Sprintf("slowest %d cells", top),
+		"cell", "total", "decode", "queue", "warmup", "measured", "err")
+	ms := func(d time.Duration) string { return d.Round(time.Millisecond).String() }
+	for i := 0; i < top; i++ {
+		s := &runs[i]
+		st.AddRow(s.Cell(), ms(s.Dur), ms(phaseDur(s, obs.PhaseDecode)),
+			ms(phaseDur(s, obs.PhaseQueueWait)), ms(phaseDur(s, obs.PhaseWarmup)),
+			ms(phaseDur(s, obs.PhaseMeasured)), s.Err)
+	}
+	fmt.Fprintln(w)
+	st.Render(w)
+}

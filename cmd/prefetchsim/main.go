@@ -11,9 +11,10 @@
 //
 // SIGINT/SIGTERM cancel in-flight simulations; the partial table is
 // printed. Tables go to stdout; progress and diagnostics go to stderr as
-// structured logs (-q silences them). Exit codes: 0 all runs completed,
-// 1 at least one run failed, 2 usage error, 3 cancelled (see DESIGN.md,
-// "Failure model").
+// structured logs (-q silences them). -listen serves live metrics
+// (Prometheus /metrics, expvar, pprof) while the runs execute. Exit codes:
+// 0 all runs completed, 1 at least one run failed, 2 usage error, 3
+// cancelled (see DESIGN.md, "Failure model").
 package main
 
 import (
@@ -49,6 +50,7 @@ func run() int {
 		configPath  = flag.String("config", "", "JSON machine/prefetcher config (see exp.FileConfig)")
 		stall       = flag.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
 		quiet       = flag.Bool("q", false, "suppress progress logging (errors still print)")
+		listen      = flag.String("listen", "", "serve /metrics, /debug/vars and pprof on this address while runs execute (empty host binds loopback)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "prefetchsim", *quiet, false)
@@ -113,11 +115,30 @@ func run() int {
 	}
 	cfg := fc.SimConfig()
 	rc := harness.RunConfig{StallTimeout: *stall}
+	names := strings.Split(*prefetchers, ",")
+
+	live, err := obs.StartLive(ctx, logger, *listen, "", 0)
+	if err != nil {
+		logger.Error("observability setup failed", "err", err)
+		return harness.ExitUsage
+	}
+	defer live.Close()
+	// prefetchsim runs the harness directly (no exp engine), so it feeds the
+	// shared live-run counters itself — the endpoint and progress lines read
+	// the same names the engine-backed commands publish.
+	cellsTotal := live.Reg.Counter(obs.MetricCellsTotal, "runs submitted")
+	cellsDone := live.Reg.Counter(obs.MetricCellsDone, "runs completed (success or failure)")
+	cellsFailed := live.Reg.Counter(obs.MetricCellsFailed, "runs that finished with an error")
+	lastIPC := live.Reg.Gauge(obs.GaugeLastIPC, "IPC of the most recently completed run")
+	lastMPKI := live.Reg.Gauge(obs.GaugeLastL1MPKI, "L1 MPKI of the most recently completed run")
+	cellsTotal.Add(uint64(len(names)))
+	live.Ready()
+
 	var baseIPC float64
 	tb := stats.NewTable("results", "prefetcher", "IPC", "speedup", "L1 MPKI", "L2 MPKI", "cycles")
 	var verboseRows []string
 	failed, cancelled := 0, false
-	for _, name := range strings.Split(*prefetchers, ",") {
+	for _, name := range names {
 		if ctx.Err() != nil {
 			cancelled = true
 			break
@@ -144,9 +165,14 @@ func run() int {
 			// One bad (workload, prefetcher) pair fails its run without
 			// killing the rest of the comparison.
 			logger.Error("run failed", "prefetcher", name, "err", err)
+			cellsDone.Inc()
+			cellsFailed.Inc()
 			failed++
 			continue
 		}
+		cellsDone.Inc()
+		lastIPC.Set(res.IPC())
+		lastMPKI.Set(res.L1MPKI())
 		logger.Info("run complete", "workload", tr.Name, "prefetcher", name,
 			"duration", time.Since(start).Round(time.Millisecond))
 		if name == "none" {

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"semloc/internal/harness"
+	"semloc/internal/obs"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the sweep goroutine writes
+// logs into it while the test polls its contents.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// httpGet fetches url, returning an error instead of failing the test: the
+// sweep under test may finish (and release the listener) between polls.
+func httpGet(url string) (string, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, err
+	}
+	return string(body), resp.StatusCode, nil
+}
+
+// TestSweepLiveEndpoint drives the full live-observability path end to end:
+// a sweep with -listen and -spans runs in the background, the test scrapes
+// /metrics while it executes and asserts the live counters are present,
+// then verifies the sweep exits cleanly, the listener is released (no
+// leaked goroutine holding the port), and the span file parses with one
+// span per executed cell. CI runs this under -race.
+func TestSweepLiveEndpoint(t *testing.T) {
+	spansFile := filepath.Join(t.TempDir(), "sweep.trace.json")
+	var stderr syncBuffer
+	var out bytes.Buffer
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run([]string{
+			"-workload", "list", "-param", "epsilon",
+			"-values", "0,0.05,0.1,0.15", "-scale", "0.1", "-parallel", "2",
+			"-listen", "127.0.0.1:0", "-spans", spansFile,
+		}, &out, &stderr)
+	}()
+
+	// The endpoint address is logged as soon as the listener is up.
+	addrRe := regexp.MustCompile(`addr=([0-9.]+:\d+)`)
+	var addr string
+	deadline := time.Now().Add(30 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("listen address never logged:\n%s", stderr.String())
+		}
+		if m := addrRe.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Scrape /metrics while the sweep runs; the engine registers its
+	// counters when the runner is built, a moment after the listener binds,
+	// so poll until they appear. (/healthz, /readyz, /debug/vars and pprof
+	// are covered by internal/obs's server tests.)
+	var metrics string
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("live counters never appeared in /metrics; last scrape:\n%s", metrics)
+		}
+		body, status, err := httpGet("http://" + addr + "/metrics")
+		if err == nil && status == http.StatusOK &&
+			strings.Contains(body, "cells_total") &&
+			strings.Contains(body, "cells_done") &&
+			strings.Contains(body, "queue_wait_seconds_bucket") {
+			metrics = body
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !strings.Contains(metrics, "# TYPE queue_wait_seconds histogram") {
+		t.Errorf("/metrics is not Prometheus text format:\n%s", metrics)
+	}
+
+	if code := <-codeCh; code != harness.ExitOK {
+		t.Fatalf("sweep exited %d:\n%s", code, stderr.String())
+	}
+	// Clean shutdown: the listener (and its serving goroutine) must be gone.
+	if conn, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		conn.Close()
+		t.Error("metrics listener still accepting connections after exit")
+	}
+
+	// The span file must parse and carry one run span per cell (baseline +
+	// 4 sweep points) plus the trace generation.
+	f, err := os.Open(spansFile)
+	if err != nil {
+		t.Fatalf("span file missing: %v", err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatalf("span file unreadable: %v", err)
+	}
+	runs, traces := 0, 0
+	for _, s := range spans {
+		switch s.Cat {
+		case obs.CatRun:
+			runs++
+		case obs.CatTrace:
+			traces++
+		}
+	}
+	if runs != 5 {
+		t.Errorf("span file holds %d run spans, want 5 (baseline + 4 points)", runs)
+	}
+	if traces != 1 {
+		t.Errorf("span file holds %d trace spans, want 1", traces)
+	}
+	// The sweep's table must be untouched by the observability plumbing.
+	if !strings.Contains(out.String(), "epsilon") {
+		t.Errorf("sweep table missing from stdout:\n%s", out.String())
+	}
+}

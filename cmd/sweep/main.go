@@ -16,8 +16,11 @@
 // so the table is bit-identical at any parallelism. SIGINT/SIGTERM cancel
 // in-flight simulations; the partial table is printed. The result table
 // goes to stdout; progress and diagnostics go to stderr as structured logs
-// (-q silences them). Exit codes: 0 completed, 1 a run failed, 2 usage
-// error, 3 cancelled (see DESIGN.md, "Failure model").
+// (-q silences them). -listen serves live metrics (Prometheus /metrics,
+// expvar, pprof) while the sweep runs; -spans records a Perfetto-loadable
+// span trace of every cell (inspect it with "inspect spans"). Exit codes:
+// 0 completed, 1 a run failed, 2 usage error, 3 cancelled (see DESIGN.md,
+// "Failure model").
 package main
 
 import (
@@ -155,6 +158,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list      = fs.Bool("params", false, "list sweepable parameters")
 		stall     = fs.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
 		quiet     = fs.Bool("q", false, "suppress progress logging (errors still print)")
+		listen    = fs.String("listen", "", "serve /metrics, /debug/vars and pprof on this address while the sweep runs (empty host binds loopback)")
+		spansPath = fs.String("spans", "", "write a Chrome trace-event span file (Perfetto-loadable) here on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return harness.ExitUsage
@@ -191,12 +196,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	live, err := obs.StartLive(ctx, logger, *listen, *spansPath, 0)
+	if err != nil {
+		logger.Error("observability setup failed", "err", err)
+		return harness.ExitUsage
+	}
+	defer live.Close()
+
 	opts := exp.DefaultOptions()
 	opts.Scale = *scale
 	opts.Seed = *seed
 	opts.Parallelism = *parallel
 	opts.Harness = harness.RunConfig{StallTimeout: *stall}
+	opts.Metrics = live.Reg
+	opts.Spans = live.Spans
 	runner := exp.NewRunnerContext(ctx, opts)
+	live.Ready()
 
 	// Job 0 is the shared no-prefetch baseline; jobs 1..n are the sweep
 	// points, each a parameterised run whose seed derives from its point

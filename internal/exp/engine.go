@@ -142,6 +142,7 @@ func isContextName(name string) bool {
 // run was reading.
 func (r *Runner) RunJobs(jobs []Job) ([]JobResult, error) {
 	out := make([]JobResult, len(jobs))
+	r.met.batchSubmitted(len(jobs))
 	workers := cap(r.sem)
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -158,6 +159,7 @@ func (r *Runner) RunJobs(jobs []Job) ([]JobResult, error) {
 					return
 				}
 				out[i] = r.runJob(i, jobs[i])
+				r.met.jobFinished(&out[i])
 			}
 		}()
 	}
@@ -185,26 +187,41 @@ func (r *Runner) runJob(index int, job Job) JobResult {
 // are throwaway measurements, and the artifact namespace is keyed by
 // (workload, prefetcher name) which a sweep would collide all over.
 func (r *Runner) runConfig(job Job) (*sim.Result, prefetch.Prefetcher, error) {
+	ct := r.beginCell(job.Workload, job.Prefetcher, job.Point)
 	tr, err := r.Trace(job.Workload)
 	if err != nil {
+		ct.finish(nil, err)
 		return nil, nil, err
 	}
+	ct.decodeDone()
 	cfg := *job.Config
 	cfg.Seed = DeriveSeed(r.opts.Seed, job.Workload, job.Prefetcher, job.Point)
 	pf, err := core.New(cfg)
 	if err != nil {
-		return nil, nil, fmt.Errorf("exp: %s/%s[%d]: %w", job.Workload, job.Prefetcher, job.Point, err)
+		err = fmt.Errorf("exp: %s/%s[%d]: %w", job.Workload, job.Prefetcher, job.Point, err)
+		ct.finish(nil, err)
+		return nil, nil, err
 	}
+	ct.queueStart()
 	select {
 	case r.sem <- struct{}{}:
 	case <-r.ctx.Done():
-		return nil, nil, fmt.Errorf("exp: %s/%s[%d]: %w", job.Workload, job.Prefetcher, job.Point, context.Cause(r.ctx))
+		err := fmt.Errorf("exp: %s/%s[%d]: %w", job.Workload, job.Prefetcher, job.Point, context.Cause(r.ctx))
+		ct.finish(nil, err)
+		return nil, nil, err
 	}
-	defer func() { <-r.sem }()
+	ct.queueDone()
+	r.met.workerAcquired()
+	defer func() {
+		<-r.sem
+		r.met.workerReleased()
+	}()
 
 	simCfg := r.opts.Sim
 	simCfg.Pool = r.pool
+	ct.installWarmup(&simCfg)
 	res, err := harness.Run(r.ctx, tr, pf, simCfg, r.opts.Harness)
+	ct.finish(res, err)
 	if err != nil {
 		return nil, nil, fmt.Errorf("exp: %s/%s[%d]: %w", job.Workload, job.Prefetcher, job.Point, err)
 	}

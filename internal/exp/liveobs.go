@@ -1,0 +1,218 @@
+package exp
+
+// This file is the engine's live-observability plumbing: per-batch metric
+// counters and per-run span accounting. Everything here is cell-granular —
+// a handful of atomics and one timestamped struct per simulation — and
+// fully disabled (no clock reads, no allocations) when neither
+// Options.Metrics nor Options.Spans is set, preserving the engine's
+// zero-overhead contract.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"semloc/internal/cache"
+	"semloc/internal/obs"
+	"semloc/internal/sim"
+)
+
+// runMetrics bundles the engine's registered metric handles. A nil
+// *runMetrics (Options.Metrics unset) makes every method a no-op.
+type runMetrics struct {
+	cellsTotal, cellsDone, cellsFailed *obs.Counter
+	accesses                           *obs.Counter
+	queueWait, runSeconds              *obs.Histogram
+	busy, lastIPC, lastMPKI            *obs.Gauge
+}
+
+func newRunMetrics(reg *obs.Registry) *runMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &runMetrics{
+		cellsTotal:  reg.Counter(obs.MetricCellsTotal, "matrix cells submitted to the engine"),
+		cellsDone:   reg.Counter(obs.MetricCellsDone, "matrix cells completed (success or failure)"),
+		cellsFailed: reg.Counter(obs.MetricCellsFailed, "matrix cells that finished with an error"),
+		accesses:    reg.Counter(obs.MetricAccesses, "demand accesses simulated by completed runs"),
+		queueWait:   reg.Histogram(obs.MetricQueueWait, "seconds runs waited for a worker slot", nil),
+		runSeconds:  reg.Histogram(obs.MetricRunSeconds, "end-to-end simulation seconds per executed run", nil),
+		busy:        reg.Gauge(obs.GaugeWorkersBusy, "runs currently holding a worker slot"),
+		lastIPC:     reg.Gauge(obs.GaugeLastIPC, "IPC of the most recently completed cell"),
+		lastMPKI:    reg.Gauge(obs.GaugeLastL1MPKI, "L1 MPKI of the most recently completed cell"),
+	}
+}
+
+// batchSubmitted accounts a RunJobs batch entering the engine.
+func (m *runMetrics) batchSubmitted(jobs int) {
+	if m == nil {
+		return
+	}
+	m.cellsTotal.Add(uint64(jobs))
+}
+
+// jobFinished accounts one batch cell completing — including memoized
+// cells that never re-simulated, so done converges on total.
+func (m *runMetrics) jobFinished(jr *JobResult) {
+	if m == nil {
+		return
+	}
+	m.cellsDone.Inc()
+	if jr.Err != nil {
+		m.cellsFailed.Inc()
+		return
+	}
+	if jr.Result != nil {
+		m.lastIPC.Set(jr.Result.IPC())
+		m.lastMPKI.Set(jr.Result.L1MPKI())
+	}
+}
+
+// workerAcquired / workerReleased bracket a held worker-pool slot.
+func (m *runMetrics) workerAcquired() {
+	if m == nil {
+		return
+	}
+	m.busy.Add(1)
+}
+
+func (m *runMetrics) workerReleased() {
+	if m == nil {
+		return
+	}
+	m.busy.Add(-1)
+}
+
+// runExecuted accounts one actually-executed simulation (memoized cache
+// hits never reach here).
+func (m *runMetrics) runExecuted(res *sim.Result, queueWait, total time.Duration) {
+	if m == nil {
+		return
+	}
+	m.queueWait.Observe(queueWait.Seconds())
+	m.runSeconds.Observe(total.Seconds())
+	if res != nil {
+		m.accesses.Add(res.Categories.Demand)
+	}
+}
+
+// cellTrace accumulates one executed run's phase boundaries. A nil
+// *cellTrace (observability fully disabled) turns every method into a
+// single branch and, crucially, warmupHook into a nil function pointer —
+// the simulation then runs the exact uninstrumented configuration.
+//
+// Phase model (offsets from the cell's start):
+//
+//	decode     [0, decode]            fetching/generating the trace
+//	queue_wait [qStart, qEnd]         blocking on the worker semaphore
+//	warmup     [simStart, warmEnd]    simulating up to the warm-up marker
+//	measured   [warmEnd, total]       simulating the measured region
+//
+// warmEnd is stored atomically because the warm-up hook runs on the
+// simulation goroutine, which the harness may abandon after a grace
+// timeout — the late write must not race the span assembly.
+type cellTrace struct {
+	r        *Runner
+	workload string
+	pf       string
+	point    int
+	start    time.Time
+	off      time.Duration // span-epoch offset of start
+	decode   time.Duration
+	qStart   time.Duration
+	qEnd     time.Duration
+	simStart time.Duration
+	warmEnd  atomic.Int64 // nanoseconds since start; 0 = no warm-up marker
+}
+
+// beginCell starts phase accounting for one job, or returns nil when both
+// metrics and spans are disabled.
+func (r *Runner) beginCell(workload, prefetcher string, point int) *cellTrace {
+	if r.met == nil && r.spans == nil {
+		return nil
+	}
+	return &cellTrace{
+		r:        r,
+		workload: workload,
+		pf:       prefetcher,
+		point:    point,
+		start:    time.Now(),
+		off:      r.spans.Now(),
+	}
+}
+
+func (c *cellTrace) decodeDone() {
+	if c == nil {
+		return
+	}
+	c.decode = time.Since(c.start)
+}
+
+func (c *cellTrace) queueStart() {
+	if c == nil {
+		return
+	}
+	c.qStart = time.Since(c.start)
+}
+
+func (c *cellTrace) queueDone() {
+	if c == nil {
+		return
+	}
+	c.qEnd = time.Since(c.start)
+	c.simStart = c.qEnd
+}
+
+// installWarmup chains the cell's warmup→measured boundary timestamp onto
+// the run configuration's OnWarmupEnd hook, preserving any hook the caller
+// already set. A nil cellTrace leaves the configuration untouched, so the
+// disabled path runs the exact uninstrumented simulation.
+func (c *cellTrace) installWarmup(cfg *sim.Config) {
+	if c == nil {
+		return
+	}
+	prev := cfg.CPU.OnWarmupEnd
+	cfg.CPU.OnWarmupEnd = func(now cache.Cycle) {
+		c.warmEnd.Store(int64(time.Since(c.start)))
+		if prev != nil {
+			prev(now)
+		}
+	}
+}
+
+// finish closes the cell: it feeds the run histograms and appends the span
+// with its phase breakdown.
+func (c *cellTrace) finish(res *sim.Result, err error) {
+	if c == nil {
+		return
+	}
+	total := time.Since(c.start)
+	c.r.met.runExecuted(res, c.qEnd-c.qStart, total)
+	rec := c.r.spans
+	if rec == nil {
+		return
+	}
+	s := obs.Span{
+		Cat:        obs.CatRun,
+		Workload:   c.workload,
+		Prefetcher: c.pf,
+		Point:      c.point,
+		Start:      c.off,
+		Dur:        total,
+		Err:        err != nil,
+	}
+	s.Phases = append(s.Phases, obs.Phase{Name: obs.PhaseDecode, Start: c.off, Dur: c.decode})
+	if c.qEnd >= c.qStart && c.qStart > 0 {
+		s.Phases = append(s.Phases, obs.Phase{Name: obs.PhaseQueueWait, Start: c.off + c.qStart, Dur: c.qEnd - c.qStart})
+	}
+	if c.simStart > 0 {
+		warm := time.Duration(c.warmEnd.Load())
+		if warm > c.simStart && warm <= total {
+			s.Phases = append(s.Phases,
+				obs.Phase{Name: obs.PhaseWarmup, Start: c.off + c.simStart, Dur: warm - c.simStart},
+				obs.Phase{Name: obs.PhaseMeasured, Start: c.off + warm, Dur: total - warm})
+		} else {
+			s.Phases = append(s.Phases, obs.Phase{Name: obs.PhaseMeasured, Start: c.off + c.simStart, Dur: total - c.simStart})
+		}
+	}
+	rec.Add(s)
+}

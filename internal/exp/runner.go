@@ -47,6 +47,18 @@ type Options struct {
 	// and the runner builds a private one, since silently reusing traces
 	// generated under different parameters would corrupt every result.
 	Traces *TraceCache
+	// Metrics, when non-nil, receives the live batch counters the commands
+	// expose over -listen and feed to the progress reporter: cells
+	// submitted/done/failed, queue-wait and run-time histograms, and
+	// last-completed-cell gauges (see the obs.Metric*/obs.Gauge* names).
+	// Updates happen at cell granularity — never on the per-access hot
+	// path — and a nil registry keeps the engine metric-free.
+	Metrics *obs.Registry
+	// Spans, when non-nil, records one span per executed simulation (with
+	// decode / queue-wait / warmup / measured phase timings) and per trace
+	// generation, exportable as Chrome trace-event JSON. Nil disables
+	// tracing at zero cost.
+	Spans *obs.SpanRecorder
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -71,6 +83,8 @@ type Runner struct {
 	ctx    context.Context
 	traces *TraceCache
 	pool   *sim.RunPool
+	met    *runMetrics
+	spans  *obs.SpanRecorder
 
 	mu      sync.Mutex
 	results map[string]*sim.Result
@@ -112,11 +126,16 @@ func NewRunnerContext(ctx context.Context, opts Options) *Runner {
 	if tc == nil {
 		tc = NewTraceCache(opts.Scale, opts.Seed)
 	}
+	if opts.Spans != nil {
+		tc.SetSpans(opts.Spans)
+	}
 	return &Runner{
 		opts:    opts,
 		ctx:     ctx,
 		traces:  tc,
 		pool:    sim.NewRunPool(),
+		met:     newRunMetrics(opts.Metrics),
+		spans:   opts.Spans,
 		results: make(map[string]*sim.Result),
 		errs:    make(map[string]error),
 		inFly:   make(map[string]*sync.WaitGroup),
@@ -203,23 +222,36 @@ func (r *Runner) newPrefetcher(workload, prefetcher string, tr *trace.Trace) (pr
 }
 
 func (r *Runner) run(workload, prefetcher string) (*sim.Result, error) {
+	ct := r.beginCell(workload, prefetcher, 0)
 	tr, err := r.Trace(workload)
 	if err != nil {
+		ct.finish(nil, err)
 		return nil, err
 	}
+	ct.decodeDone()
 	pf, err := r.newPrefetcher(workload, prefetcher, tr)
 	if err != nil {
+		ct.finish(nil, err)
 		return nil, err
 	}
+	ct.queueStart()
 	select {
 	case r.sem <- struct{}{}:
 	case <-r.ctx.Done():
-		return nil, fmt.Errorf("exp: %s/%s: %w", workload, prefetcher, context.Cause(r.ctx))
+		err := fmt.Errorf("exp: %s/%s: %w", workload, prefetcher, context.Cause(r.ctx))
+		ct.finish(nil, err)
+		return nil, err
 	}
-	defer func() { <-r.sem }()
+	ct.queueDone()
+	r.met.workerAcquired()
+	defer func() {
+		<-r.sem
+		r.met.workerReleased()
+	}()
 
 	simCfg := r.opts.Sim
 	simCfg.Pool = r.pool
+	ct.installWarmup(&simCfg)
 	var decFile *os.File
 	if r.opts.Telemetry.Interval > 0 || r.opts.Telemetry.DecisionRate > 0 {
 		simCfg.Obs = r.opts.Telemetry
@@ -241,6 +273,7 @@ func (r *Runner) run(workload, prefetcher string) (*sim.Result, error) {
 	}
 
 	res, err := harness.Run(r.ctx, tr, pf, simCfg, r.opts.Harness)
+	ct.finish(res, err)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s/%s: %w", workload, prefetcher, err)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"semloc/internal/harness"
+	"semloc/internal/obs"
 	"semloc/internal/trace"
 	"semloc/internal/workloads"
 )
@@ -36,6 +37,11 @@ type TraceCache struct {
 	// genHook, when set, observes each actual generator invocation (tests
 	// use it to assert single-flight).
 	genHook func(workload string)
+
+	// spans, when set, records one obs.CatTrace span per actual generator
+	// invocation. Guarded by mu for installation; the recorder itself is
+	// safe for concurrent use.
+	spans *obs.SpanRecorder
 }
 
 // NewTraceCache builds an empty cache generating workloads at the given
@@ -59,6 +65,22 @@ func NewTraceCache(scale float64, seed uint64) *TraceCache {
 
 // Params returns the generation scale and seed the cache was built with.
 func (c *TraceCache) Params() (scale float64, seed uint64) { return c.scale, c.seed }
+
+// SetSpans attaches a span recorder: each actual trace generation (not cache
+// hits) is recorded as an obs.CatTrace span. Safe to call before any Get;
+// installing a recorder mid-batch only affects generations that start later.
+func (c *TraceCache) SetSpans(rec *obs.SpanRecorder) {
+	c.mu.Lock()
+	c.spans = rec
+	c.mu.Unlock()
+}
+
+// spanRecorder returns the installed recorder (nil-safe to use directly).
+func (c *TraceCache) spanRecorder() *obs.SpanRecorder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spans
+}
 
 // Get returns the (cached) generated trace for a workload. Generation runs
 // under supervision: a panicking generator (e.g. heap exhaustion on an
@@ -129,9 +151,12 @@ func (c *TraceCache) generate(ctx context.Context, workload string) (*trace.Trac
 	}
 	done := make(chan error, 1)
 	var tr *trace.Trace
+	rec := c.spanRecorder()
 	go func() {
 		done <- harness.Safely(func() error {
+			start := rec.Now()
 			gen := w.Generate(workloads.GenConfig{Scale: c.scale, Seed: c.seed})
+			rec.Add(obs.Span{Cat: obs.CatTrace, Workload: workload, Start: start, Dur: rec.Now() - start})
 			c.mu.Lock()
 			// An abandoned earlier generation may have landed meanwhile;
 			// keep the first (and its checksum).

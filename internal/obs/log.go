@@ -5,14 +5,35 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"sync/atomic"
 	"time"
 )
 
-// NewRunID derives a short, unique-enough identifier for one command
-// invocation, carried as the run_id attribute on every structured log
-// line so concurrent or scripted sweeps can be teased apart afterwards.
+// runIDSeq distinguishes IDs minted by one process in the same nanosecond
+// (a parallel fleet spawning loggers back to back can easily tie on
+// time^pid alone).
+var runIDSeq atomic.Uint64
+
+// NewRunID derives a unique identifier for one command invocation, carried
+// as the run_id attribute on every structured log line so concurrent or
+// scripted sweeps can be teased apart afterwards. The ID mixes wall time,
+// the process ID and a process-local atomic counter through a splitmix64
+// finalizer into 64 bits — two invocations collide only if time AND pid
+// AND counter all coincide, which cannot happen within a process and is
+// vanishingly unlikely across one.
 func NewRunID() string {
-	return fmt.Sprintf("%08x", uint32(time.Now().UnixNano())^uint32(os.Getpid())<<16)
+	// seq advances the pre-mix state by the splitmix64 golden gamma, so two
+	// same-nanosecond in-process IDs still differ by a nonzero multiple of an
+	// odd constant — distinct mod 2^64 — and the finalizer is a bijection,
+	// so the distinction survives into the printed ID.
+	h := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<40
+	h += runIDSeq.Add(1) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return fmt.Sprintf("%016x", h)
 }
 
 // LogLevel maps the shared -q/-v command flags onto a slog level: quiet

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryNilIsDisabled(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	g := reg.Gauge("y", "")
+	h := reg.Histogram("z", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	// Every method must be a no-op on nil handles, not a crash.
+	c.Add(3)
+	c.Inc()
+	g.Set(1.5)
+	g.Add(1)
+	h.Observe(0.1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil registry export: err=%v out=%q", err, sb.String())
+	}
+	if m := reg.ExpvarMap(); len(m) != 0 {
+		t.Errorf("nil registry expvar map non-empty: %v", m)
+	}
+}
+
+func TestRegistryHandlesAreStable(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("cells_done", "done")
+	c2 := reg.Counter("cells_done", "different help ignored")
+	if c1 != c2 {
+		t.Fatal("same counter name must return the same handle")
+	}
+	if reg.Gauge("g", "") != reg.Gauge("g", "") {
+		t.Fatal("same gauge name must return the same handle")
+	}
+	if reg.Histogram("h", "", nil) != reg.Histogram("h", "", []float64{1}) {
+		t.Fatal("same histogram name must return the same handle")
+	}
+}
+
+func TestCounterGaugeValues(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c", "")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 6 {
+		t.Errorf("counter = %d, want 6", c.Value())
+	}
+	g := reg.Gauge("g", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+2+100; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// le="0.1" catches 0.05 and the boundary value 0.1 (le is inclusive).
+	for _, want := range []string{
+		`lat_bucket{le="0.1"} 2`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		"lat_sum 102.65",
+		"lat_count 5",
+		"# TYPE lat histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricCellsDone, "cells completed").Add(7)
+	reg.Gauge(GaugeLastIPC, "last IPC").Set(0.75)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP cells_done cells completed",
+		"# TYPE cells_done counter",
+		"cells_done 7",
+		"# TYPE last_ipc gauge",
+		"last_ipc 0.75",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order must be stable (counter registered first).
+	if strings.Index(out, "cells_done") > strings.Index(out, "last_ipc") {
+		t.Error("export must follow registration order")
+	}
+}
+
+func TestExpvarMap(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", "").Add(3)
+	reg.Gauge("g", "").Set(1.25)
+	reg.Histogram("h", "", []float64{1}).Observe(0.5)
+	m := reg.ExpvarMap()
+	if m["c"] != uint64(3) {
+		t.Errorf("c = %v (%T)", m["c"], m["c"])
+	}
+	if m["g"] != 1.25 {
+		t.Errorf("g = %v", m["g"])
+	}
+	hm, ok := m["h"].(map[string]any)
+	if !ok {
+		t.Fatalf("h = %T, want map", m["h"])
+	}
+	if hm["count"] != uint64(1) || hm["sum"] != 0.5 {
+		t.Errorf("histogram map = %v", hm)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("shared", "")
+			h := reg.Histogram("hist", "", nil)
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared", "").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := reg.Histogram("hist", "", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -11,7 +12,10 @@ import (
 // cmd/experiments: a CPU profile written for the whole invocation and a
 // heap profile captured at stop time. Either path may be empty. The
 // returned stop function must be called exactly once (defer it); it
-// finishes both profiles and reports the first error.
+// finishes both profiles unconditionally — the CPU profile is always
+// stopped and its file closed even when the heap path turns out to be
+// unwritable — and reports every failure, joined with errors.Join so a
+// bad heap path cannot mask a CPU-profile write error (or vice versa).
 //
 // Together with the telemetry series these close the observability loop:
 // the overhead guard and BENCH_<n>.json detect a hot-path regression, the
@@ -29,29 +33,27 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 		}
 	}
 	return func() error {
-		var first error
+		var errs []error
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil && first == nil {
-				first = fmt.Errorf("obs: cpu profile: %w", err)
+			if err := cpuFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("obs: cpu profile: %w", err))
 			}
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				if first == nil {
-					first = fmt.Errorf("obs: mem profile: %w", err)
+				errs = append(errs, fmt.Errorf("obs: mem profile: %w", err))
+			} else {
+				runtime.GC() // settle live objects before the heap snapshot
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					errs = append(errs, fmt.Errorf("obs: mem profile: %w", err))
 				}
-				return first
-			}
-			runtime.GC() // settle live objects before the heap snapshot
-			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
-				first = fmt.Errorf("obs: mem profile: %w", err)
-			}
-			if err := f.Close(); err != nil && first == nil {
-				first = fmt.Errorf("obs: mem profile: %w", err)
+				if err := f.Close(); err != nil {
+					errs = append(errs, fmt.Errorf("obs: mem profile: %w", err))
+				}
 			}
 		}
-		return first
+		return errors.Join(errs...)
 	}, nil
 }

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter makes a bytes.Buffer safe to share between the reporter
+// goroutine and test assertions.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func TestStartProgressDisabled(t *testing.T) {
+	// nil registry or logger: stop must be safe and do nothing.
+	stop := StartProgress(context.Background(), nil, nil, time.Millisecond)
+	stop()
+	stop() // idempotent
+	lg := slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+	stop = StartProgress(context.Background(), lg, nil, time.Millisecond)
+	stop()
+}
+
+func TestProgressReportsAndFinalLine(t *testing.T) {
+	reg := NewRegistry()
+	total := reg.Counter(MetricCellsTotal, "")
+	done := reg.Counter(MetricCellsDone, "")
+	reg.Gauge(GaugeLastIPC, "").Set(0.5)
+	total.Add(4)
+	done.Add(1)
+
+	var w syncWriter
+	lg := slog.New(slog.NewTextHandler(&w, nil))
+	stop := StartProgress(context.Background(), lg, reg, 5*time.Millisecond)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(w.String(), "progress") && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	done.Add(3)
+	stop()
+	stop() // stop is idempotent
+
+	out := w.String()
+	if !strings.Contains(out, "progress") {
+		t.Fatalf("no periodic progress line emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "total=4") {
+		t.Errorf("progress line missing totals:\n%s", out)
+	}
+	if !strings.Contains(out, "eta=") {
+		t.Errorf("mid-batch progress line missing ETA:\n%s", out)
+	}
+	if !strings.Contains(out, "batch complete") || !strings.Contains(out, "done=4") {
+		t.Errorf("stop must emit a final line with the drained count:\n%s", out)
+	}
+	if !strings.Contains(out, "last_ipc=0.5") {
+		t.Errorf("progress must surface the last-IPC gauge:\n%s", out)
+	}
+}
+
+func TestProgressQuietWhenNoWork(t *testing.T) {
+	reg := NewRegistry()
+	var w syncWriter
+	lg := slog.New(slog.NewTextHandler(&w, nil))
+	stop := StartProgress(context.Background(), lg, reg, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	if out := w.String(); out != "" {
+		t.Errorf("reporter must stay silent with no cells submitted:\n%s", out)
+	}
+}
+
+func TestProgressStopsOnContextCancel(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricCellsTotal, "").Add(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var w syncWriter
+	lg := slog.New(slog.NewTextHandler(&w, nil))
+	stop := StartProgress(ctx, lg, reg, time.Millisecond)
+	cancel()
+	// stop must not hang even though the context, not stop, ended the loop.
+	doneCh := make(chan struct{})
+	go func() { stop(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop hung after context cancellation")
+	}
+}

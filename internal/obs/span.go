@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span phase names recorded by the experiment engine. A run span carries
+// up to four phases in chronological order: waiting for (or generating)
+// the decoded trace, waiting for a worker slot, simulating the warm-up
+// region, and simulating the measured region.
+const (
+	PhaseDecode    = "decode"
+	PhaseQueueWait = "queue_wait"
+	PhaseWarmup    = "warmup"
+	PhaseMeasured  = "measured"
+)
+
+// Span categories.
+const (
+	// CatRun is a per-cell simulation span (one (workload, prefetcher,
+	// point) job end to end).
+	CatRun = "run"
+	// CatTrace is a trace-generation span inside the TraceCache.
+	CatTrace = "trace"
+)
+
+// Phase is one timed sub-interval of a span. Start is an offset from the
+// recorder's epoch.
+type Phase struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start"`
+	Dur   time.Duration `json:"dur"`
+}
+
+// Span is one traced operation: a simulation cell or a trace generation.
+type Span struct {
+	// Cat is the span category (CatRun or CatTrace).
+	Cat string `json:"cat"`
+	// Workload/Prefetcher/Point are the job coordinates (Prefetcher empty
+	// for trace spans).
+	Workload   string `json:"workload"`
+	Prefetcher string `json:"prefetcher,omitempty"`
+	Point      int    `json:"point,omitempty"`
+	// Start is the offset from the recorder epoch; Dur the total length.
+	Start time.Duration `json:"start"`
+	Dur   time.Duration `json:"dur"`
+	// Err records whether the operation failed.
+	Err bool `json:"err,omitempty"`
+	// Phases subdivides the span (run spans only).
+	Phases []Phase `json:"phases,omitempty"`
+}
+
+// Cell names the span's matrix cell ("workload/prefetcher[point]", or just
+// the workload for trace spans).
+func (s *Span) Cell() string {
+	if s.Prefetcher == "" {
+		return s.Workload
+	}
+	if s.Point != 0 {
+		return fmt.Sprintf("%s/%s[%d]", s.Workload, s.Prefetcher, s.Point)
+	}
+	return s.Workload + "/" + s.Prefetcher
+}
+
+// SpanRecorder collects spans for one command invocation. Recording is a
+// mutex-guarded append, paid once per cell (never on the per-access hot
+// path); a nil *SpanRecorder disables tracing — Now returns 0 and Add is
+// a no-op, matching the package's nil-receiver contract.
+type SpanRecorder struct {
+	epoch time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewSpanRecorder starts an empty recorder; its epoch is the construction
+// time and every recorded offset is relative to it.
+func NewSpanRecorder() *SpanRecorder {
+	return &SpanRecorder{epoch: time.Now()}
+}
+
+// Now returns the current offset from the recorder epoch (0 when nil), the
+// timestamp base callers use to build spans and phases.
+func (r *SpanRecorder) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.epoch)
+}
+
+// Add records one completed span.
+func (r *SpanRecorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans, ordered by start time.
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the subset Perfetto and about:tracing load: complete ("X") duration
+// events plus metadata ("M") thread names.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// assignLanes packs spans (ordered by start) onto the smallest number of
+// non-overlapping lanes, greedily: each span takes the lowest lane whose
+// previous span has ended. Lanes correspond to worker-pool slots — the
+// engine's workers are anonymous goroutines, but any schedule's spans fit
+// exactly the worker count it ran with, so the lane view is the worker
+// view.
+func assignLanes(spans []Span) []int {
+	lanes := make([]int, len(spans))
+	var laneEnd []time.Duration
+	for i, s := range spans {
+		placed := false
+		for l := range laneEnd {
+			if laneEnd[l] <= s.Start {
+				lanes[i] = l
+				laneEnd[l] = s.Start + s.Dur
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lanes[i] = len(laneEnd)
+			laneEnd = append(laneEnd, s.Start+s.Dur)
+		}
+	}
+	return lanes
+}
+
+// Lanes exposes the worker-lane packing for consumers of recorded span
+// files (cmd/inspect renders utilization from it). Spans must be ordered by
+// start time, as Spans and ReadChromeTrace return them.
+func Lanes(spans []Span) []int { return assignLanes(spans) }
+
+const chromePID = 1
+
+// WriteChromeTrace renders the recorded spans as Chrome trace-event JSON,
+// loadable by Perfetto and about:tracing. Each span becomes a complete
+// event on a worker lane; its phases become nested complete events on the
+// same lane. Timestamps are microseconds from the recorder epoch.
+func (r *SpanRecorder) WriteChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+	lanes := assignLanes(spans)
+	nLanes := 0
+	for _, l := range lanes {
+		if l+1 > nLanes {
+			nLanes = l + 1
+		}
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	ct := chromeTrace{DisplayTimeUnit: "ms"}
+	ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "semloc"},
+	})
+	for l := 0; l < nLanes; l++ {
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: l,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", l)},
+		})
+	}
+	for i, s := range spans {
+		args := map[string]any{
+			"cell":     s.Cell(),
+			"workload": s.Workload,
+			"span":     i,
+		}
+		if s.Prefetcher != "" {
+			args["prefetcher"] = s.Prefetcher
+			args["point"] = s.Point
+		}
+		if s.Err {
+			args["err"] = true
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: s.Cell(), Cat: s.Cat, Ph: "X",
+			TS: us(s.Start), Dur: us(s.Dur), PID: chromePID, TID: lanes[i], Args: args,
+		})
+		for _, p := range s.Phases {
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: p.Name, Cat: "phase", Ph: "X",
+				TS: us(p.Start), Dur: us(p.Dur), PID: chromePID, TID: lanes[i],
+				Args: map[string]any{"cell": s.Cell(), "span": i},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// ReadChromeTrace parses a span file written by WriteChromeTrace back into
+// spans (cmd/inspect's side of the round trip). Metadata events and
+// unknown categories are ignored; phases rejoin their span via the span id
+// carried in args.
+func ReadChromeTrace(r io.Reader) ([]Span, error) {
+	var ct chromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, fmt.Errorf("obs: span file: %w", err)
+	}
+	toDur := func(us float64) time.Duration { return time.Duration(us * 1e3) }
+	spanIdx := map[int]int{} // span id in args -> index into out
+	var out []Span
+	argInt := func(args map[string]any, key string) (int, bool) {
+		v, ok := args[key].(float64) // JSON numbers decode as float64
+		if !ok {
+			return 0, false
+		}
+		return int(v), true
+	}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" || (ev.Cat != CatRun && ev.Cat != CatTrace) {
+			continue
+		}
+		s := Span{
+			Cat:   ev.Cat,
+			Start: toDur(ev.TS),
+			Dur:   toDur(ev.Dur),
+		}
+		if wl, ok := ev.Args["workload"].(string); ok {
+			s.Workload = wl
+		}
+		if pf, ok := ev.Args["prefetcher"].(string); ok {
+			s.Prefetcher = pf
+		}
+		if pt, ok := argInt(ev.Args, "point"); ok {
+			s.Point = pt
+		}
+		if e, ok := ev.Args["err"].(bool); ok {
+			s.Err = e
+		}
+		if id, ok := argInt(ev.Args, "span"); ok {
+			spanIdx[id] = len(out)
+		}
+		out = append(out, s)
+	}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" || ev.Cat != "phase" {
+			continue
+		}
+		id, ok := argInt(ev.Args, "span")
+		if !ok {
+			continue
+		}
+		i, ok := spanIdx[id]
+		if !ok {
+			continue
+		}
+		out[i].Phases = append(out[i].Phases, Phase{
+			Name: ev.Name, Start: toDur(ev.TS), Dur: toDur(ev.Dur),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("obs: span file holds no run or trace spans")
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanRecorderNilSafe(t *testing.T) {
+	var rec *SpanRecorder
+	if rec.Now() != 0 {
+		t.Error("nil recorder Now() must be 0")
+	}
+	rec.Add(Span{Workload: "x"}) // must not panic
+	if rec.Spans() != nil {
+		t.Error("nil recorder must hold no spans")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Errorf("nil recorder export: %v", err)
+	}
+}
+
+func TestSpanCellNames(t *testing.T) {
+	cases := []struct {
+		s    Span
+		want string
+	}{
+		{Span{Workload: "mcf", Prefetcher: "context"}, "mcf/context"},
+		{Span{Workload: "mcf", Prefetcher: "context", Point: 3}, "mcf/context[3]"},
+		{Span{Workload: "mcf"}, "mcf"},
+	}
+	for _, c := range cases {
+		if got := c.s.Cell(); got != c.want {
+			t.Errorf("Cell() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAssignLanesPacksOverlaps(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	spans := []Span{
+		{Start: ms(0), Dur: ms(10)},  // lane 0
+		{Start: ms(2), Dur: ms(5)},   // overlaps 0 -> lane 1
+		{Start: ms(8), Dur: ms(4)},   // overlaps 0, lane 1 free at 7 -> lane 1
+		{Start: ms(10), Dur: ms(2)},  // lane 0 free at 10 -> lane 0
+		{Start: ms(100), Dur: ms(1)}, // everything free -> lane 0
+	}
+	want := []int{0, 1, 1, 0, 0}
+	got := assignLanes(spans)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lanes = %v, want %v", got, want)
+		}
+	}
+}
+
+// sampleSpans builds a small two-worker batch with phases.
+func sampleSpans() []Span {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Span{
+		{
+			Cat: CatTrace, Workload: "list",
+			Start: ms(0), Dur: ms(4),
+		},
+		{
+			Cat: CatRun, Workload: "list", Prefetcher: "none",
+			Start: ms(4), Dur: ms(20),
+			Phases: []Phase{
+				{Name: PhaseDecode, Start: ms(4), Dur: ms(1)},
+				{Name: PhaseQueueWait, Start: ms(5), Dur: ms(2)},
+				{Name: PhaseWarmup, Start: ms(7), Dur: ms(3)},
+				{Name: PhaseMeasured, Start: ms(10), Dur: ms(14)},
+			},
+		},
+		{
+			Cat: CatRun, Workload: "list", Prefetcher: "context", Point: 2,
+			Start: ms(6), Dur: ms(30), Err: true,
+		},
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	rec := NewSpanRecorder()
+	for _, s := range sampleSpans() {
+		rec.Add(s)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The file must be one JSON object with a traceEvents array whose
+	// duration events carry the fields Perfetto requires.
+	var raw struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("span file is not valid JSON: %v", err)
+	}
+	var xEvents, mEvents int
+	for _, ev := range raw.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+			for _, field := range []string{"name", "ts", "pid", "tid"} {
+				if _, ok := ev[field]; !ok {
+					t.Errorf("X event missing %q: %v", field, ev)
+				}
+			}
+		case "M":
+			mEvents++
+		default:
+			t.Errorf("unexpected event phase %v", ev["ph"])
+		}
+	}
+	// 3 spans + 4 phases as X events; process + 2 worker lanes as metadata.
+	if xEvents != 7 {
+		t.Errorf("X events = %d, want 7", xEvents)
+	}
+	if mEvents != 3 {
+		t.Errorf("metadata events = %d, want 3 (process + 2 lanes)", mEvents)
+	}
+
+	spans, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("round trip returned %d spans, want 3", len(spans))
+	}
+	byCell := map[string]Span{}
+	for _, s := range spans {
+		byCell[s.Cell()] = s
+	}
+	run, ok := byCell["list/none"]
+	if !ok {
+		t.Fatalf("missing list/none span: %v", byCell)
+	}
+	if run.Cat != CatRun || run.Dur != 20*time.Millisecond || len(run.Phases) != 4 {
+		t.Errorf("list/none round trip: %+v", run)
+	}
+	if run.Phases[3].Name != PhaseMeasured || run.Phases[3].Dur != 14*time.Millisecond {
+		t.Errorf("measured phase: %+v", run.Phases)
+	}
+	if s := byCell["list/context[2]"]; !s.Err || s.Point != 2 {
+		t.Errorf("context span lost err/point: %+v", s)
+	}
+	if s := byCell["list"]; s.Cat != CatTrace || s.Dur != 4*time.Millisecond {
+		t.Errorf("trace span: %+v", s)
+	}
+}
+
+func TestReadChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadChromeTrace(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must not parse")
+	}
+	if _, err := ReadChromeTrace(strings.NewReader(`{"traceEvents":[]}`)); err == nil {
+		t.Error("a span-free file must be reported, not rendered as empty")
+	}
+}

@@ -148,6 +148,10 @@ func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cf
 		}
 		ad.progress = cpuCfg.Progress
 	}
+	// Chain rather than replace a caller-provided warm-up hook: the
+	// experiment engine uses it to timestamp the warmup/measured phase
+	// boundary for span tracing.
+	callerWarmup := cpuCfg.OnWarmupEnd
 	cpuCfg.OnWarmupEnd = func(now cache.Cycle) {
 		ad.hier.ResetStats()
 		ad.cats = Categories{}
@@ -156,6 +160,9 @@ func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cf
 			r.ResetMetrics()
 		}
 		col.NoteWarmupEnd(ad.accessIdx)
+		if callerWarmup != nil {
+			callerWarmup(now)
+		}
 	}
 	cpuRes, err := cpu.RunContext(ctx, tr, ad, cpuCfg)
 	if err != nil {

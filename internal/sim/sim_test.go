@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"semloc/internal/cache"
 	"semloc/internal/core"
 	"semloc/internal/memmodel"
 	"semloc/internal/prefetch"
@@ -316,5 +317,30 @@ func TestGoldenDeterminism(t *testing.T) {
 				t.Errorf("%s/%s: serialized results differ:\n%s\n%s", wl, mk.name, da, db)
 			}
 		}
+	}
+}
+
+// TestRunChainsCallerWarmupHook pins the warm-up hook contract the
+// experiment engine's span tracing relies on: a caller-provided
+// CPU.OnWarmupEnd must still fire (after the internal stat resets), and
+// installing one must not change the simulation result.
+func TestRunChainsCallerWarmupHook(t *testing.T) {
+	tr := genTrace(t, "list", 0.05)
+	base, err := Run(tr, prefetch.NewNone(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	calls := 0
+	cfg.CPU.OnWarmupEnd = func(cache.Cycle) { calls++ }
+	res, err := Run(tr, prefetch.NewNone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("caller warm-up hook fired %d times, want 1", calls)
+	}
+	if !reflect.DeepEqual(base, res) {
+		t.Error("installing a warm-up hook changed the simulation result")
 	}
 }
