@@ -1,16 +1,17 @@
 # Development workflow for the semloc reproduction. `make check` is the
-# full gate: vet + build + race-enabled tests + a short fuzz run of the
-# trace decoder (seed corpus under internal/trace/testdata/fuzz/) + a
-# quick-mode benchmark smoke that fails unless cmd/bench produces a
-# well-formed report + an overhead guard that pins the disabled-telemetry
-# hot path at zero allocations per access + a race-enabled live
-# observability smoke (sweep with -listen, /metrics scraped mid-run,
-# leak-checked shutdown).
+# full gate: vet + build + race-enabled tests + short fuzz runs of the
+# trace decoder and the prefetchd wire-frame decoder + a quick-mode
+# benchmark smoke that fails unless cmd/bench produces a well-formed
+# report + an overhead guard that pins the disabled-telemetry hot path at
+# zero allocations per access + a race-enabled live observability smoke
+# (sweep with -listen, /metrics scraped mid-run, leak-checked shutdown) +
+# a race-enabled serving smoke (prefetchd SIGTERM drain, snapshot
+# warm-start, chaos transport).
 
 GO ?= go
 BENCH_N ?= 3
 
-.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard obs-smoke check clean
+.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard obs-smoke serve-smoke check clean
 
 all: build
 
@@ -26,8 +27,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# fuzz smokes both untrusted-input decoders: the trace reader and the
+# prefetchd wire-protocol frame decoder (go test allows one -fuzz pattern
+# per invocation, hence two runs).
 fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/serve
 
 # bench runs the full fixed (workload, prefetcher) matrix and records the
 # perf trajectory at the repo root (see DESIGN.md, "Hot path & benchmarking").
@@ -77,7 +82,17 @@ obs-smoke:
 	$(GO) vet ./...
 	$(GO) test -race -count=1 -run '^TestSweepLiveEndpoint$$' ./cmd/sweep
 
-check: vet build race fuzz bench-smoke overhead-guard obs-smoke
+# serve-smoke proves the prefetchd robustness story end to end, race
+# enabled: the daemon binary is built and booted, a client streams accesses
+# against an in-process reference, SIGTERM lands mid-stream (clean drain +
+# final snapshot), and the restarted daemon must resume the session
+# bit-identically (DESIGN.md §14). The chaos transport tests (lossy proxy,
+# abrupt kill + rewind replay) ride along from the client package.
+serve-smoke:
+	$(GO) test -race -count=1 -run '^TestSigtermDrainWarmStart$$' ./cmd/prefetchd
+	$(GO) test -race -count=1 -run '^TestChaos' ./internal/serve/client
+
+check: vet build race fuzz bench-smoke overhead-guard obs-smoke serve-smoke
 
 clean:
 	rm -f .bench-smoke.json .overhead-guard.txt

@@ -1,0 +1,144 @@
+// Command prefetchd is the resilient prefetch-serving daemon: it accepts
+// streaming access records from many concurrent client sessions over TCP
+// (newline-delimited JSON frames, see internal/serve) and replies with
+// prefetch decisions from per-session context learners.
+//
+// Robustness surface:
+//
+//   - Session lifecycle: sessions are created on first hello, re-attached
+//     on reconnect, and reaped after -session-ttl of detached idleness.
+//   - Overload: per-session inboxes are bounded (-inbox); when one fills,
+//     accesses are answered immediately by a cheap next-line fallback
+//     (decision carries degraded:true). A global in-flight cap
+//     (-max-inflight) answers excess load with explicit busy frames.
+//   - Durability: with -snapshot, learner state is checkpointed
+//     periodically (-snapshot-interval), on SIGINT/SIGTERM drain, and
+//     restored on boot (warm start) — a restarted daemon continues
+//     bit-identically from its last snapshot.
+//   - Containment: a panic in one session's learner poisons only that
+//     session; a panic in one connection handler severs only that
+//     connection.
+//
+// Observability: -obs-listen serves /metrics (Prometheus), /healthz,
+// /readyz and pprof. Readiness flips only after the snapshot restore and
+// the serving socket are both up, so a load balancer never routes to a
+// daemon still warming state.
+//
+// Exit codes: 0 clean drain (including signal-initiated), 1 runtime or
+// shutdown failure (e.g. the final snapshot could not be written),
+// 2 usage error.
+//
+// Usage:
+//
+//	prefetchd -listen 127.0.0.1:7077 -snapshot /var/tmp/prefetchd.snap
+//	prefetchd -listen 127.0.0.1:0 -addr-file /tmp/prefetchd.addr -q
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"semloc/internal/harness"
+	"semloc/internal/obs"
+	"semloc/internal/serve"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("prefetchd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen       = fs.String("listen", "127.0.0.1:7077", "serving socket address (use :0 for an ephemeral port)")
+		obsListen    = fs.String("obs-listen", "", "serve /metrics, /healthz, /readyz and pprof on this address")
+		snapshot     = fs.String("snapshot", "", "snapshot file for restore-on-boot and periodic/shutdown checkpoints")
+		snapInterval = fs.Duration("snapshot-interval", 30*time.Second, "period between snapshots (with -snapshot)")
+		sessionTTL   = fs.Duration("session-ttl", 5*time.Minute, "expire detached sessions idle this long")
+		inbox        = fs.Int("inbox", 64, "per-session inbox depth before accesses shed to the degraded fallback")
+		maxInflight  = fs.Int("max-inflight", 1024, "global cap on accepted-but-unanswered accesses before busy replies")
+		addrFile     = fs.String("addr-file", "", "write the bound serving address to this file once listening")
+		quiet        = fs.Bool("q", false, "suppress progress logging (errors still print)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return harness.ExitUsage
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "prefetchd: unexpected arguments: %v\n", fs.Args())
+		return harness.ExitUsage
+	}
+	logger := obs.NewLogger(stderr, "prefetchd", *quiet, false)
+
+	reg := obs.NewRegistry()
+	srv, err := serve.NewServer(serve.Config{
+		Listen:           *listen,
+		SessionTTL:       *sessionTTL,
+		InboxDepth:       *inbox,
+		MaxInflight:      *maxInflight,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapInterval,
+		Shards:           0, // default
+		Reg:              reg,
+		Logf: func(format string, a ...any) {
+			logger.Info(fmt.Sprintf(format, a...))
+		},
+	})
+	if err != nil {
+		// A corrupt or unreadable snapshot is a runtime failure, not a
+		// usage error: the operator must decide whether to delete it.
+		logger.Error("boot failed", "err", err)
+		return harness.ExitRunFailed
+	}
+
+	var obsSrv *obs.Server
+	if *obsListen != "" {
+		obsSrv, err = obs.Serve(*obsListen, reg)
+		if err != nil {
+			logger.Error("observability endpoint failed", "err", err)
+			return harness.ExitUsage
+		}
+		defer obsSrv.Close()
+		logger.Info("observability endpoint up", "addr", obsSrv.Addr(),
+			"metrics", fmt.Sprintf("http://%s/metrics", obsSrv.Addr()))
+	}
+
+	if err := srv.Start(); err != nil {
+		logger.Error("listen failed", "err", err)
+		return harness.ExitUsage
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr().String()+"\n"), 0o644); err != nil {
+			logger.Error("writing -addr-file failed", "err", err)
+			srv.Close()
+			return harness.ExitUsage
+		}
+	}
+	// Readiness only after restore (inside NewServer) and bind both
+	// succeeded: a probe hitting /readyz never routes to cold state.
+	if obsSrv != nil {
+		obsSrv.SetReady(true)
+	}
+	logger.Info("serving", "addr", srv.Addr().String(),
+		"restored_sessions", srv.RestoredSessions(), "snapshot", *snapshot)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills immediately instead of re-queueing
+
+	logger.Info("signal received; draining")
+	if obsSrv != nil {
+		obsSrv.SetReady(false)
+	}
+	if err := srv.Close(); err != nil {
+		logger.Error("drain failed", "err", err)
+		return harness.ExitRunFailed
+	}
+	logger.Info("drained cleanly", "snapshot", *snapshot)
+	return harness.ExitOK
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"semloc/internal/core"
+	"semloc/internal/serve"
+	"semloc/internal/serve/client"
+)
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "prefetchd")
+	// Race-instrumented so the daemon process itself is under the
+	// detector during the SIGTERM drain, not just this test harness.
+	cmd := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building prefetchd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary and waits for its -addr-file.
+func startDaemon(t *testing.T, bin string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{"-listen", "127.0.0.1:0", "-addr-file", addrFile, "-q"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return cmd, strings.TrimSpace(string(b))
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("daemon never wrote its addr file")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func sigtermAndWait(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not drain within 15s of SIGTERM")
+	}
+}
+
+// TestSigtermDrainWarmStart is the process-level durability contract:
+// SIGTERM mid-stream exits 0 after writing the final snapshot, and the
+// restarted process resumes the session bit-identically to a never-killed
+// in-process learner.
+func TestSigtermDrainWarmStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	snap := filepath.Join(t.TempDir(), "prefetchd.snap")
+
+	ref, err := serve.NewLearner(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := func(i uint64) *serve.Frame {
+		return &serve.Frame{Type: serve.FrameAccess, Seq: i, PC: 0x400000,
+			Addr: 0x200000 + (i%256)*64}
+	}
+	const split, total = 500, 1000
+
+	cmd1, addr1 := startDaemon(t, bin, "-snapshot", snap)
+	c1, err := client.Dial(client.Config{Addr: client.FixedAddr(addr1), Session: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= split; i++ {
+		want := ref.Decide(frame(i))
+		got, err := c1.Decide(frame(i))
+		if err != nil {
+			t.Fatalf("seq %d: %v", i, err)
+		}
+		if !serve.SameDecision(got, want) {
+			t.Fatalf("seq %d: daemon diverged from in-process reference", i)
+		}
+	}
+	c1.Close()
+	sigtermAndWait(t, cmd1)
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no snapshot after drain: %v", err)
+	}
+
+	cmd2, addr2 := startDaemon(t, bin, "-snapshot", snap)
+	defer func() { sigtermAndWait(t, cmd2) }()
+	c2, err := client.Dial(client.Config{Addr: client.FixedAddr(addr2), Session: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if !c2.Resumed() || c2.ServerSeq() != split {
+		t.Fatalf("warm start: resumed=%v serverSeq=%d, want true/%d", c2.Resumed(), c2.ServerSeq(), split)
+	}
+	for i := uint64(split + 1); i <= total; i++ {
+		want := ref.Decide(frame(i))
+		got, err := c2.Decide(frame(i))
+		if err != nil {
+			t.Fatalf("seq %d: %v", i, err)
+		}
+		if !serve.SameDecision(got, want) {
+			t.Fatalf("post-restart seq %d diverged from uninterrupted reference", i)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	for _, args := range [][]string{
+		{"-bogus-flag"},
+		{"stray-positional"},
+	} {
+		err := exec.Command(bin, args...).Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Fatalf("args %v: want exit 2, got %v", args, err)
+		}
+	}
+}

@@ -7,60 +7,83 @@
 //	prefetchsim -workload list [-prefetchers context,sms,none] [-scale 1] [-seed 1] [-v]
 //	prefetchsim -workload list -config machine.json
 //	prefetchsim -trace list.trace # replay a serialized trace (see tracegen)
+//	prefetchsim -workload list -remote 127.0.0.1:7077 # cross-check prefetchd
 //	prefetchsim -list             # list available workloads
 //
-// SIGINT/SIGTERM cancel in-flight simulations; the partial table is
-// printed. Tables go to stdout; progress and diagnostics go to stderr as
-// structured logs (-q silences them). -listen serves live metrics
-// (Prometheus /metrics, expvar, pprof) while the runs execute. Exit codes:
-// 0 all runs completed, 1 at least one run failed, 2 usage error, 3
-// cancelled (see DESIGN.md, "Failure model").
+// -remote streams the workload's access records to a running prefetchd
+// (see cmd/prefetchd) and cross-checks every remote decision against an
+// in-process learner: the daemon is a deterministic replica, so any
+// mismatch is a serving bug. -timeout bounds the whole invocation with a
+// hard wall-clock deadline; exceeding it is a run failure (exit 1), not a
+// cancellation. SIGINT/SIGTERM cancel in-flight simulations; the partial
+// table is printed. Tables go to stdout; progress and diagnostics go to
+// stderr as structured logs (-q silences them). -listen serves live
+// metrics (Prometheus /metrics, expvar, pprof) while the runs execute.
+// Exit codes: 0 all runs completed, 1 at least one run failed (including
+// -timeout expiry and -remote mismatches), 2 usage error, 3 cancelled
+// (see DESIGN.md, "Failure model").
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"semloc/internal/core"
 	"semloc/internal/exp"
 	"semloc/internal/harness"
 	"semloc/internal/obs"
 	"semloc/internal/prefetch"
+	"semloc/internal/serve"
+	"semloc/internal/serve/client"
 	"semloc/internal/stats"
 	"semloc/internal/trace"
 	"semloc/internal/workloads"
 )
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("prefetchsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload    = flag.String("workload", "", "workload name (see -list)")
-		traceFile   = flag.String("trace", "", "replay a serialized trace instead of generating a workload")
-		prefetchers = flag.String("prefetchers", "none,stride,ghb-gdc,ghb-pcdc,sms,markov,context", "comma-separated prefetcher names")
-		scale       = flag.Float64("scale", 1, "workload scale factor")
-		seed        = flag.Uint64("seed", 1, "workload seed")
-		list        = flag.Bool("list", false, "list available workloads")
-		verbose     = flag.Bool("v", false, "print access-category breakdown")
-		configPath  = flag.String("config", "", "JSON machine/prefetcher config (see exp.FileConfig)")
-		stall       = flag.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
-		quiet       = flag.Bool("q", false, "suppress progress logging (errors still print)")
-		listen      = flag.String("listen", "", "serve /metrics, /debug/vars and pprof on this address while runs execute (empty host binds loopback)")
+		workload    = fs.String("workload", "", "workload name (see -list)")
+		traceFile   = fs.String("trace", "", "replay a serialized trace instead of generating a workload")
+		prefetchers = fs.String("prefetchers", "none,stride,ghb-gdc,ghb-pcdc,sms,markov,context", "comma-separated prefetcher names")
+		scale       = fs.Float64("scale", 1, "workload scale factor")
+		seed        = fs.Uint64("seed", 1, "workload seed")
+		list        = fs.Bool("list", false, "list available workloads")
+		verbose     = fs.Bool("v", false, "print access-category breakdown")
+		configPath  = fs.String("config", "", "JSON machine/prefetcher config (see exp.FileConfig)")
+		stall       = fs.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
+		timeout     = fs.Duration("timeout", 0, "hard wall-clock budget for the whole invocation; exceeding it exits 1 (0 disables)")
+		quiet       = fs.Bool("q", false, "suppress progress logging (errors still print)")
+		listen      = fs.String("listen", "", "serve /metrics, /debug/vars and pprof on this address while runs execute (empty host binds loopback)")
+		remote      = fs.String("remote", "", "prefetchd address: stream the workload through the daemon and cross-check decisions against the in-process learner")
+		session     = fs.String("session", "", "session name for -remote (default derives from the workload and pid)")
 	)
-	flag.Parse()
-	logger := obs.NewLogger(os.Stderr, "prefetchsim", *quiet, false)
+	if err := fs.Parse(args); err != nil {
+		return harness.ExitUsage
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "prefetchsim: unexpected arguments: %v\n", fs.Args())
+		return harness.ExitUsage
+	}
+	logger := obs.NewLogger(stderr, "prefetchsim", *quiet, false)
 
 	if *list {
 		tb := stats.NewTable("workloads (Table 3)", "name", "suite", "irregular", "description")
 		for _, w := range workloads.All() {
 			tb.AddRow(w.Name, w.Suite, w.Irregular, w.Description)
 		}
-		tb.Render(os.Stdout)
+		tb.Render(stdout)
 		return harness.ExitOK
 	}
 	if *workload == "" && *traceFile == "" {
@@ -70,6 +93,10 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The deadline threads through the same cancellation path as signals;
+	// harness.IsTimeout distinguishes the two at exit-code time.
+	ctx, cancelTimeout := harness.WithTimeout(ctx, *timeout)
+	defer cancelTimeout()
 
 	var tr *trace.Trace
 	if *traceFile != "" {
@@ -101,8 +128,16 @@ func run() int {
 		}
 	}
 	st := tr.ComputeStats()
-	fmt.Printf("workload %s: %d records, %d instructions, %d loads (%d dependent), %d stores\n\n",
+	fmt.Fprintf(stdout, "workload %s: %d records, %d instructions, %d loads (%d dependent), %d stores\n\n",
 		tr.Name, st.Records, st.Instructions, st.Loads, st.Dependent, st.Stores)
+
+	if *remote != "" {
+		name := *session
+		if name == "" {
+			name = fmt.Sprintf("prefetchsim-%s-%d", tr.Name, os.Getpid())
+		}
+		return runRemote(ctx, logger, stdout, tr, *remote, name, *timeout)
+	}
 
 	var fc *exp.FileConfig
 	if *configPath != "" {
@@ -163,7 +198,8 @@ func run() int {
 				break
 			}
 			// One bad (workload, prefetcher) pair fails its run without
-			// killing the rest of the comparison.
+			// killing the rest of the comparison. A -timeout expiry fails
+			// this run and cancels the remaining ones via ctx.
 			logger.Error("run failed", "prefetcher", name, "err", err)
 			cellsDone.Inc()
 			cellsFailed.Inc()
@@ -192,18 +228,105 @@ func run() int {
 				f(c.MissNotPrefetched, d), f(c.HitOlderDemand, d), f(c.PrefetchNeverHit, d)))
 		}
 	}
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
 	if *verbose {
-		fmt.Println("\naccess categories (fraction of demand accesses):")
+		fmt.Fprintln(stdout, "\naccess categories (fraction of demand accesses):")
 		for _, row := range verboseRows {
-			fmt.Println(row)
+			fmt.Fprintln(stdout, row)
 		}
 	}
 	switch {
+	case harness.IsTimeout(context.Cause(ctx)):
+		logger.Error("timed out; partial results above", "timeout", *timeout)
+		return harness.ExitRunFailed
 	case cancelled:
 		logger.Error("cancelled; partial results above")
 		return harness.ExitCancelled
 	case failed > 0:
+		return harness.ExitRunFailed
+	}
+	return harness.ExitOK
+}
+
+// runRemote replays the trace's access records through a prefetchd daemon
+// and cross-checks every decision against an in-process learner. The
+// serving learner is deterministic (see internal/serve), so a healthy
+// daemon matches bit-for-bit; degraded fallback decisions (daemon shedding
+// load) are counted separately because the daemon's learner skipped those
+// accesses and the streams are no longer comparable afterwards.
+func runRemote(ctx context.Context, logger *slog.Logger, stdout io.Writer, tr *trace.Trace, addr, session string, timeout time.Duration) int {
+	frames := serve.AccessFrames(tr)
+	local, err := serve.NewLearner(core.Config{})
+	if err != nil {
+		logger.Error("building reference learner", "err", err)
+		return harness.ExitRunFailed
+	}
+	c, err := client.Dial(client.Config{
+		Addr:    client.FixedAddr(addr),
+		Session: session,
+		Logf: func(format string, a ...any) {
+			logger.Info(fmt.Sprintf(format, a...))
+		},
+	})
+	if err != nil {
+		logger.Error("dialing prefetchd", "addr", addr, "err", err)
+		return harness.ExitRunFailed
+	}
+	defer c.Close()
+	if c.Resumed() {
+		// The local learner starts cold; a warm daemon session cannot be
+		// cross-checked against it.
+		logger.Error("session already exists on the daemon; pick a fresh -session",
+			"session", session, "server_seq", c.ServerSeq())
+		return harness.ExitRunFailed
+	}
+	logger.Info("streaming to prefetchd", "addr", addr, "session", session,
+		"accesses", len(frames))
+
+	start := time.Now()
+	matched, degraded, mismatched := 0, 0, 0
+	cancelled := false
+	for i := range frames {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		fr := &frames[i]
+		want := local.Decide(fr)
+		got, err := c.Decide(fr)
+		if err != nil {
+			logger.Error("remote decision failed", "seq", fr.Seq, "err", err)
+			return harness.ExitRunFailed
+		}
+		switch {
+		case got.Degraded:
+			degraded++
+		case serve.SameDecision(got, want):
+			matched++
+		default:
+			if mismatched == 0 {
+				logger.Error("daemon decision diverged from in-process learner",
+					"seq", fr.Seq, "remote", got.Prefetch, "local", want.Prefetch)
+			}
+			mismatched++
+		}
+	}
+
+	tb := stats.NewTable(fmt.Sprintf("remote cross-check vs %s", addr),
+		"accesses", "matched", "degraded", "mismatched", "retries", "reconnects")
+	tb.AddRow(matched+degraded+mismatched, matched, degraded, mismatched, c.Retries, c.Reconnects)
+	tb.Render(stdout)
+	logger.Info("remote stream complete", "duration", time.Since(start).Round(time.Millisecond))
+
+	switch {
+	case harness.IsTimeout(context.Cause(ctx)):
+		logger.Error("timed out; partial cross-check above", "timeout", timeout)
+		return harness.ExitRunFailed
+	case cancelled:
+		logger.Error("cancelled; partial cross-check above")
+		return harness.ExitCancelled
+	case mismatched > 0:
+		logger.Error("daemon diverged from the in-process learner", "mismatched", mismatched)
 		return harness.ExitRunFailed
 	}
 	return harness.ExitOK

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semloc/internal/harness"
+	"semloc/internal/serve"
+)
+
+// simOut runs the prefetchsim CLI in-process and returns (stdout, stderr,
+// exit code).
+func simOut(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestListWorkloads(t *testing.T) {
+	out, _, code := simOut(t, "-list")
+	if code != harness.ExitOK {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, want := range []string{"name", "suite", "list"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                         // no -workload/-trace/-list
+		{"-no-such-flag"},          // unknown flag
+		{"-workload", "no-such"},   // unknown workload
+		{"-workload", "list", "x"}, // stray positional
+		{"-workload", "list", "-prefetchers", "no-such", "-scale", "0.05"},
+	}
+	for _, args := range cases {
+		if _, _, code := simOut(t, append(args, "-q")...); code != harness.ExitUsage {
+			t.Errorf("prefetchsim %v exited %d, want %d", args, code, harness.ExitUsage)
+		}
+	}
+}
+
+// TestTimeoutExitsRunFailed is the -timeout contract: a run that cannot
+// finish inside its wall-clock budget is a run failure (exit 1), not a
+// cancellation (exit 3) — scripts distinguish "my deadline fired" from
+// "the user pressed ^C".
+func TestTimeoutExitsRunFailed(t *testing.T) {
+	_, errOut, code := simOut(t, "-workload", "list", "-scale", "0.05",
+		"-prefetchers", "context", "-timeout", "1ns", "-q")
+	if code != harness.ExitRunFailed {
+		t.Fatalf("-timeout 1ns exited %d, want %d\nstderr:\n%s", code, harness.ExitRunFailed, errOut)
+	}
+	if !strings.Contains(errOut, "timed out") {
+		t.Errorf("stderr does not report the timeout:\n%s", errOut)
+	}
+}
+
+// TestRemoteCrossCheck streams a small workload through an in-process
+// prefetchd and requires every daemon decision to match the local learner
+// (the table's mismatched column must be zero and the exit code clean).
+func TestRemoteCrossCheck(t *testing.T) {
+	srv, err := serve.NewServer(serve.Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	out, errOut, code := simOut(t, "-workload", "list", "-scale", "0.05",
+		"-remote", srv.Addr().String(), "-session", "cross-check", "-q")
+	if code != harness.ExitOK {
+		t.Fatalf("-remote exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "remote cross-check") || !strings.Contains(out, "matched") {
+		t.Errorf("missing cross-check table:\n%s", out)
+	}
+
+	// Re-running the same session against the warm daemon must refuse:
+	// the local reference learner starts cold and cannot be compared.
+	_, errOut, code = simOut(t, "-workload", "list", "-scale", "0.05",
+		"-remote", srv.Addr().String(), "-session", "cross-check", "-q")
+	if code != harness.ExitRunFailed {
+		t.Fatalf("warm-session rerun exited %d, want %d", code, harness.ExitRunFailed)
+	}
+	if !strings.Contains(errOut, "session already exists") {
+		t.Errorf("stderr does not explain the warm-session refusal:\n%s", errOut)
+	}
+}
+
+// TestRemoteTimeout: the -timeout deadline also bounds -remote streaming.
+func TestRemoteTimeout(t *testing.T) {
+	srv, err := serve.NewServer(serve.Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	_, errOut, code := simOut(t, "-workload", "list", "-scale", "0.05",
+		"-remote", srv.Addr().String(), "-session", "remote-timeout",
+		"-timeout", "1ns", "-q")
+	if code != harness.ExitRunFailed {
+		t.Fatalf("-remote with -timeout 1ns exited %d, want %d\nstderr:\n%s",
+			code, harness.ExitRunFailed, errOut)
+	}
+}

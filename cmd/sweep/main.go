@@ -18,9 +18,11 @@
 // goes to stdout; progress and diagnostics go to stderr as structured logs
 // (-q silences them). -listen serves live metrics (Prometheus /metrics,
 // expvar, pprof) while the sweep runs; -spans records a Perfetto-loadable
-// span trace of every cell (inspect it with "inspect spans"). Exit codes:
-// 0 completed, 1 a run failed, 2 usage error, 3 cancelled (see DESIGN.md,
-// "Failure model").
+// span trace of every cell (inspect it with "inspect spans"). -timeout
+// bounds the whole sweep with a hard wall-clock deadline; exceeding it is
+// a run failure, not a cancellation. Exit codes: 0 completed, 1 a run
+// failed (including -timeout expiry), 2 usage error, 3 cancelled (see
+// DESIGN.md, "Failure model").
 package main
 
 import (
@@ -157,6 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		list      = fs.Bool("params", false, "list sweepable parameters")
 		stall     = fs.Duration("stall", 0, "abort a run making no forward progress for this long (0 disables the watchdog)")
+		timeout   = fs.Duration("timeout", 0, "hard wall-clock budget for the whole sweep; exceeding it exits 1 (0 disables)")
 		quiet     = fs.Bool("q", false, "suppress progress logging (errors still print)")
 		listen    = fs.String("listen", "", "serve /metrics, /debug/vars and pprof on this address while the sweep runs (empty host binds loopback)")
 		spansPath = fs.String("spans", "", "write a Chrome trace-event span file (Perfetto-loadable) here on exit")
@@ -195,6 +198,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The deadline threads through the same cancellation path as signals;
+	// harness.IsTimeout distinguishes the two at exit-code time.
+	ctx, cancelTimeout := harness.WithTimeout(ctx, *timeout)
+	defer cancelTimeout()
 
 	live, err := obs.StartLive(ctx, logger, *listen, *spansPath, 0)
 	if err != nil {
@@ -275,6 +282,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	logger.Info("sweep complete", "duration", time.Since(start).Round(time.Millisecond))
 
 	switch {
+	case harness.IsTimeout(context.Cause(ctx)):
+		logger.Error("timed out; partial results above", "timeout", *timeout)
+		return harness.ExitRunFailed
 	case batchErr != nil:
 		logger.Error("batch integrity check failed", "err", batchErr)
 		return harness.ExitRunFailed

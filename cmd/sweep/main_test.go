@@ -54,6 +54,16 @@ func TestSweepUsageErrors(t *testing.T) {
 	}
 }
 
+// TestSweepTimeoutExitsRunFailed: exceeding -timeout is a run failure
+// (exit 1), not a cancellation (exit 3).
+func TestSweepTimeoutExitsRunFailed(t *testing.T) {
+	out, code := sweepOut(t, "-workload", "list", "-param", "epsilon",
+		"-values", "0,0.1", "-scale", "0.05", "-timeout", "1ns", "-q")
+	if code != harness.ExitRunFailed {
+		t.Fatalf("-timeout 1ns exited %d, want %d\n%s", code, harness.ExitRunFailed, out)
+	}
+}
+
 func TestSweepListParams(t *testing.T) {
 	out, code := sweepOut(t, "-params")
 	if code != harness.ExitOK {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"bytes"
 	"os"
 	"testing"
 
@@ -107,6 +108,54 @@ func TestArtifactValidateRejectsMalformed(t *testing.T) {
 		if err := a.Validate(); err == nil {
 			t.Fatalf("case %d: malformed artifact validated", i)
 		}
+	}
+}
+
+// TestArtifactRoundTripByteIdentical is the codec property test for the
+// per-run artifact: the bytes WriteArtifact persisted, re-loaded through
+// LoadArtifact and re-marshaled, must be identical — learner table state
+// (final metrics, hit-depth histogram, table stats) must not drift through
+// float formatting or field ordering across snapshot/restore cycles.
+func TestArtifactRoundTripByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.Scale = 0.05
+	opts.OutDir = dir
+	opts.Telemetry = obs.Config{Interval: 1024}
+	r := NewRunner(opts)
+	if _, err := r.Result("list", "context"); err != nil {
+		t.Fatal(err)
+	}
+
+	path := ArtifactPath(dir, "list", "context")
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write the loaded artifact again and compare files: one full
+	// snapshot → restore → snapshot cycle through the JSON codec.
+	dir2 := t.TempDir()
+	if _, err := WriteArtifact(dir2, art); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(ArtifactPath(dir2, "list", "context"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		a, b := first, second
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo := max(0, i-80)
+				t.Fatalf("artifact round trip drifted at byte %d:\nfirst:  …%s\nsecond: …%s",
+					i, a[lo:min(len(a), i+80)], b[lo:min(len(b), i+80)])
+			}
+		}
+		t.Fatalf("artifact round trip drifted in length: %d vs %d bytes", len(a), len(b))
 	}
 }
 

@@ -91,6 +91,38 @@ func (e *PanicError) Unwrap() error {
 	return nil
 }
 
+// TimeoutError is the cancellation cause installed by WithTimeout: the
+// whole invocation exceeded its -timeout budget. Unlike a user interrupt
+// it is a failure of the runs (ExitRunFailed), not a cancellation
+// (ExitCancelled) — a script that sets a deadline wants a non-zero,
+// non-"user pressed ^C" exit when the deadline fires.
+type TimeoutError struct {
+	// Limit is the wall-clock budget that was exceeded.
+	Limit time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("harness: exceeded the %v -timeout budget", e.Limit)
+}
+
+// IsTimeout reports whether err stems from a WithTimeout deadline.
+func IsTimeout(err error) bool {
+	var te *TimeoutError
+	return errors.As(err, &te)
+}
+
+// WithTimeout derives a context that cancels after d with a *TimeoutError
+// cause, so runs aborted by the deadline fail with a typed, descriptive
+// error (IsTimeout) instead of a bare context.DeadlineExceeded. d <= 0
+// returns ctx unchanged with a no-op cancel.
+func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeoutCause(ctx, d, &TimeoutError{Limit: d})
+}
+
 // StallError is the watchdog's diagnostic snapshot of a run that stopped
 // making forward progress.
 type StallError struct {
@@ -116,10 +148,11 @@ func IsStall(err error) bool {
 }
 
 // IsCancelled reports whether err stems from context cancellation (user
-// interrupt or deadline) rather than a failure of the run itself. Watchdog
-// aborts are failures, not cancellations.
+// interrupt or parent deadline) rather than a failure of the run itself.
+// Watchdog aborts and -timeout expiries are failures, not cancellations.
 func IsCancelled(err error) bool {
-	return (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && !IsStall(err)
+	return (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) &&
+		!IsStall(err) && !IsTimeout(err)
 }
 
 // Safely invokes fn, converting a panic into a *PanicError. It guards

@@ -141,3 +141,41 @@ func TestSafely(t *testing.T) {
 		t.Fatalf("Safely(panic) = %v, want *PanicError", err)
 	}
 }
+
+// TestWithTimeout: the deadline surfaces as a typed *TimeoutError through
+// the run's error chain, classified as a failure rather than a
+// cancellation (the -timeout exit-code contract).
+func TestWithTimeout(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	cause := context.Cause(ctx)
+	if !IsTimeout(cause) {
+		t.Fatalf("cause %v is not a *TimeoutError", cause)
+	}
+	if IsCancelled(cause) {
+		t.Error("timeout misclassified as cancellation")
+	}
+
+	_, err := Run(ctx, testTrace(100000), &prefetch.None{}, sim.DefaultConfig(), RunConfig{})
+	if err == nil {
+		t.Fatal("run under an expired deadline succeeded")
+	}
+	if !IsTimeout(err) {
+		t.Errorf("run error %v does not unwrap to *TimeoutError", err)
+	}
+	if IsCancelled(err) {
+		t.Error("timed-out run misclassified as cancelled")
+	}
+	if !strings.Contains(err.Error(), "-timeout") {
+		t.Errorf("error %q does not mention the -timeout budget", err)
+	}
+
+	// Disabled deadline: ctx passes through untouched.
+	base := context.Background()
+	same, cancel0 := WithTimeout(base, 0)
+	defer cancel0()
+	if same != base {
+		t.Error("WithTimeout(ctx, 0) wrapped the context")
+	}
+}

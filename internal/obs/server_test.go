@@ -6,7 +6,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -100,6 +102,70 @@ func TestServerLocalhostDefault(t *testing.T) {
 	}
 	if host != "127.0.0.1" {
 		t.Errorf("empty host bound %s, want loopback", host)
+	}
+}
+
+// TestServerCloseUnderInflightScrapes shuts the server down while a pack
+// of scrapers is mid-flight on every endpoint. Close must not panic, must
+// come back, and must leave no serving goroutines behind — a prefetchd
+// drain races its obs endpoint teardown against whatever Prometheus is
+// doing at that instant. Run under -race (make race / obs-smoke).
+func TestServerCloseUnderInflightScrapes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricCellsDone, "done").Add(1)
+	baseline := runtime.NumGoroutine()
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetReady(true)
+	base := "http://" + srv.Addr()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	defer client.CloseIdleConnections()
+	paths := []string{"/metrics", "/debug/vars", "/healthz", "/readyz"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(base + path)
+				if err != nil {
+					return // server gone mid-request: expected after Close
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(paths[i%len(paths)])
+	}
+
+	// Let the scrapers get some requests genuinely in flight, then yank
+	// the server out from under them.
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Errorf("close under load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if _, err := client.Get(base + "/metrics"); err == nil {
+		t.Error("server still answering after Close")
+	}
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,340 @@
+// Package client is the prefetchd wire client: a lockstep
+// request/response loop over the newline-JSONL protocol with the retry
+// discipline the daemon's exactly-once semantics assume — reconnect with
+// exponential backoff plus deterministic jitter, resend the in-flight
+// access under the same seq (the server's replay cache absorbs
+// duplicates), honour explicit busy backpressure, and surface a typed
+// rewind when a restarted daemon lost trained tail state so the driver
+// can replay its stream from the server's high-water mark.
+package client
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"semloc/internal/serve"
+)
+
+// Config parameterizes a Client. Addr and Session are required.
+type Config struct {
+	// Addr returns the daemon address to dial. A plain address is wrapped
+	// via FixedAddr; a func lets chaos tests repoint at a restarted
+	// daemon without the client noticing.
+	Addr func() string
+	// Session names the server-side session to create or re-attach.
+	Session string
+
+	// DialTimeout bounds one connect attempt; RequestTimeout bounds the
+	// wait for one decision before the request is retried.
+	DialTimeout    time.Duration
+	RequestTimeout time.Duration
+
+	// MaxAttempts bounds connect/request retries before giving up.
+	MaxAttempts int
+	// BackoffBase doubles per consecutive failure up to BackoffMax, with
+	// up to 50% deterministic jitter on top.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the jitter RNG (deterministic tests).
+	Seed uint64
+
+	Logf func(format string, args ...any)
+}
+
+// FixedAddr adapts a constant address for Config.Addr.
+func FixedAddr(addr string) func() string { return func() string { return addr } }
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 10
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x9e3779b97f4a7c15
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// RewindError reports that a restarted daemon's session is behind the
+// client's stream: the daemon restored a snapshot whose last applied seq
+// is ServerSeq, older than the access being sent. The driver owns the
+// stream, so it replays everything after ServerSeq — the restored learner
+// then retrains those accesses from exactly the state it saw them from,
+// keeping it bit-identical to a never-killed learner.
+type RewindError struct {
+	ServerSeq uint64
+}
+
+func (e *RewindError) Error() string {
+	return fmt.Sprintf("client: server rewound to seq %d; replay the stream from there", e.ServerSeq)
+}
+
+// Client is a lockstep prefetchd client. Not goroutine-safe: one client,
+// one stream.
+type Client struct {
+	cfg  Config
+	conn net.Conn
+	r    *serve.FrameReader
+
+	serverSeq uint64 // last seq the server reported applied (welcome)
+	resumed   bool   // last welcome's Resumed flag
+	failures  int    // consecutive transport failures, drives backoff
+	rng       uint64
+
+	// Retries / Reconnects / Busy count retried sends, re-dials and busy
+	// bounces — chaos tests assert the faults were actually exercised.
+	Retries    int
+	Reconnects int
+	Busy       int
+}
+
+// Dial connects and performs the hello/welcome handshake, retrying with
+// backoff like any other request (the very first exchange can be hit by
+// the same faults as the rest of the stream).
+func Dial(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Addr == nil || cfg.Session == "" {
+		return nil, fmt.Errorf("client: Addr and Session are required")
+	}
+	c := &Client{cfg: cfg, rng: cfg.Seed}
+	var err error
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		if err = c.connect(); err == nil {
+			return c, nil
+		}
+		c.failures++
+		c.backoff()
+	}
+	return nil, fmt.Errorf("client: dial gave up after %d attempts: %w", cfg.MaxAttempts, err)
+}
+
+// ServerSeq returns the server's last applied seq as of the most recent
+// welcome.
+func (c *Client) ServerSeq() uint64 { return c.serverSeq }
+
+// Resumed reports whether the most recent welcome re-attached an
+// existing session.
+func (c *Client) Resumed() bool { return c.resumed }
+
+// connect dials and handshakes once.
+func (c *Client) connect() error {
+	c.drop()
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr(), c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("client: dial: %w", err)
+	}
+	w := &serve.Frame{Type: serve.FrameHello, Version: serve.ProtocolVersion, Session: c.cfg.Session}
+	b, err := serve.EncodeFrame(w)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	if _, err := conn.Write(b); err != nil {
+		conn.Close()
+		return fmt.Errorf("client: sending hello: %w", err)
+	}
+	r := serve.NewFrameReader(conn)
+	fr, err := r.Read()
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("client: reading welcome: %w", err)
+	}
+	if fr.Type != serve.FrameWelcome {
+		conn.Close()
+		return fmt.Errorf("client: handshake refused: %s (%s: %s)", fr.Type, fr.Code, fr.Msg)
+	}
+	conn.SetDeadline(time.Time{})
+	c.conn, c.r = conn, r
+	c.serverSeq, c.resumed = fr.LastSeq, fr.Resumed
+	return nil
+}
+
+func (c *Client) drop() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.r = nil, nil
+	}
+}
+
+// backoff sleeps the exponential-plus-jitter delay for the current
+// consecutive-failure count.
+func (c *Client) backoff() {
+	d := c.cfg.BackoffBase << uint(min(c.failures, 16))
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	// splitmix64 step for deterministic jitter in [0, d/2).
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	time.Sleep(d + time.Duration(z%uint64(d/2+1)))
+}
+
+// Decide streams one access and returns its decision, riding out
+// transport faults: duplicate replies for older seqs are skipped, busy
+// frames honour the server's retry hint, broken connections reconnect
+// with backoff and resend the same seq, and a post-restart server behind
+// the stream returns *RewindError.
+func (c *Client) Decide(fr *serve.Frame) (*serve.Frame, error) {
+	if fr.Type != serve.FrameAccess {
+		return nil, fmt.Errorf("client: Decide wants an access frame, got %s", fr.Type)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if c.conn == nil {
+			if err := c.connect(); err != nil {
+				lastErr = err
+				c.failures++
+				c.Reconnects++
+				c.cfg.Logf("client: reconnect failed (attempt %d): %v", attempt, err)
+				c.backoff()
+				continue
+			}
+			c.Reconnects++
+			// A restarted server may have restored an older snapshot:
+			// its session is behind our stream and sending fr.Seq now
+			// would silently skip the gap. Hand control to the driver.
+			if c.serverSeq+1 < fr.Seq {
+				return nil, &RewindError{ServerSeq: c.serverSeq}
+			}
+		}
+		dec, err := c.exchange(fr)
+		if err != nil {
+			lastErr = err
+			c.failures++
+			c.Retries++
+			c.cfg.Logf("client: request seq %d failed (attempt %d): %v", fr.Seq, attempt, err)
+			c.drop()
+			c.backoff()
+			continue
+		}
+		c.failures = 0
+		return dec, nil
+	}
+	return nil, fmt.Errorf("client: seq %d: giving up after %d attempts: %w", fr.Seq, c.cfg.MaxAttempts, lastErr)
+}
+
+// exchange sends one access and reads until its answer arrives. Busy
+// bounces are resent on the same connection after the server's hinted
+// wait; only transport faults bubble up to the reconnect path.
+func (c *Client) exchange(fr *serve.Frame) (*serve.Frame, error) {
+	b, err := serve.EncodeFrame(fr)
+	if err != nil {
+		return nil, err
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	if _, err := c.conn.Write(b); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	busyN := 0
+	for {
+		c.conn.SetReadDeadline(deadline)
+		got, err := c.r.Read()
+		if err != nil {
+			return nil, fmt.Errorf("client: recv: %w", err)
+		}
+		switch got.Type {
+		case serve.FrameDecision:
+			if got.Seq == fr.Seq {
+				return got, nil
+			}
+			// A duplicated or delayed reply for an earlier seq (the
+			// chaos proxy does this): skip it.
+		case serve.FrameBusy:
+			if got.Seq != 0 && got.Seq != fr.Seq {
+				continue
+			}
+			c.Busy++
+			if busyN++; busyN > c.cfg.MaxAttempts {
+				return nil, fmt.Errorf("client: server busy %d times for seq %d", busyN, fr.Seq)
+			}
+			wait := time.Duration(got.RetryMs) * time.Millisecond
+			if wait <= 0 {
+				wait = c.cfg.BackoffBase
+			}
+			time.Sleep(wait)
+			c.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+			if _, err := c.conn.Write(b); err != nil {
+				return nil, fmt.Errorf("client: resend after busy: %w", err)
+			}
+			deadline = time.Now().Add(c.cfg.RequestTimeout)
+		case serve.FramePong:
+			// Keepalive noise.
+		case serve.FrameError:
+			switch got.Code {
+			case serve.CodeSessionClosed, serve.CodeShuttingDown:
+				// Reconnect (fresh hello revives or recreates the
+				// session) and resend.
+				return nil, fmt.Errorf("client: %s: %s", got.Code, got.Msg)
+			case serve.CodeStaleSeq:
+				if got.Seq != 0 && got.Seq != fr.Seq {
+					continue // stale answer to a duplicated old frame
+				}
+				return nil, fmt.Errorf("client: seq %d stale on server: %s", fr.Seq, got.Msg)
+			default:
+				return nil, fmt.Errorf("client: server error %s: %s", got.Code, got.Msg)
+			}
+		default:
+			return nil, fmt.Errorf("client: unexpected %s frame mid-stream", got.Type)
+		}
+	}
+}
+
+// Ping round-trips a keepalive on the current connection.
+func (c *Client) Ping() error {
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return err
+		}
+	}
+	b, err := serve.EncodeFrame(&serve.Frame{Type: serve.FramePing})
+	if err != nil {
+		return err
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	if _, err := c.conn.Write(b); err != nil {
+		return err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	got, err := c.r.Read()
+	if err != nil {
+		return err
+	}
+	if got.Type != serve.FramePong {
+		return fmt.Errorf("client: ping answered with %s", got.Type)
+	}
+	return nil
+}
+
+// Close detaches politely (bye) and closes the connection.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	if b, err := serve.EncodeFrame(&serve.Frame{Type: serve.FrameBye}); err == nil {
+		c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		c.conn.Write(b)
+	}
+	err := c.conn.Close()
+	c.conn, c.r = nil, nil
+	return err
+}

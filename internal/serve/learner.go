@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"semloc/internal/cache"
+	"semloc/internal/core"
+	"semloc/internal/memmodel"
+	"semloc/internal/prefetch"
+	"semloc/internal/trace"
+)
+
+// Learner wraps one session's context prefetcher behind a deterministic
+// serving issuer: Decide feeds an access frame through core.OnAccess and
+// collects the issued/shadow prefetch addresses into a decision frame.
+//
+// Serving has no simulated memory system, so the issuer is a fixed point:
+// prefetch slots are always free and every real prefetch dispatches. That
+// makes a daemon-side learner a pure function of (initial state, access
+// stream) — which is what lets prefetchsim -remote cross-check daemon
+// decisions against an in-process learner, and the chaos tests compare a
+// killed-and-restored daemon against a never-killed reference.
+//
+// Learner is not goroutine-safe; the session worker serializes access.
+type Learner struct {
+	pf  *core.Prefetcher
+	iss collectIssuer
+	// seen counts accesses applied (the learner-side access index).
+	seen uint64
+}
+
+// NewLearner builds a serving learner. A zero cfg means core defaults.
+func NewLearner(cfg core.Config) (*Learner, error) {
+	if cfg.CSTEntries == 0 {
+		cfg = core.DefaultConfig()
+	}
+	pf, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Learner{pf: pf}, nil
+}
+
+// RestoreLearner warm-starts a learner from saved state.
+func RestoreLearner(st *core.LearnerState) (*Learner, error) {
+	pf, err := core.NewFromState(st)
+	if err != nil {
+		return nil, err
+	}
+	l := &Learner{pf: pf}
+	l.seen = pf.Metrics().Accesses
+	return l, nil
+}
+
+// Save captures the learner's state for a snapshot.
+func (l *Learner) Save() *core.LearnerState { return l.pf.SaveState() }
+
+// Accesses returns how many accesses this learner has applied.
+func (l *Learner) Accesses() uint64 { return l.pf.Metrics().Accesses }
+
+// Decide applies one access frame and returns the decision frame (without
+// Seq, which the session fills in).
+func (l *Learner) Decide(fr *Frame) *Frame {
+	a := prefetch.Access{
+		PC:         fr.PC,
+		Addr:       memmodel.Addr(fr.Addr),
+		Line:       memmodel.Line(fr.Addr >> 6),
+		Now:        cache.Cycle(l.seen),
+		Index:      l.seen,
+		IsStore:    fr.Store,
+		Value:      fr.Value,
+		Reg:        fr.Reg,
+		BranchHist: fr.BranchHist,
+	}
+	if fr.Hints != nil {
+		a.Hints = trace.SWHints{
+			Valid:      fr.Hints.Valid,
+			TypeID:     fr.Hints.TypeID,
+			LinkOffset: fr.Hints.LinkOffset,
+			RefForm:    trace.RefForm(fr.Hints.RefForm),
+		}
+	}
+	l.iss.reset()
+	l.pf.OnAccess(&a, &l.iss)
+	l.seen++
+	dec := &Frame{Type: FrameDecision}
+	if len(l.iss.prefetches) > 0 {
+		dec.Prefetch = append([]uint64(nil), l.iss.prefetches...)
+	}
+	if len(l.iss.shadows) > 0 {
+		dec.Shadow = append([]uint64(nil), l.iss.shadows...)
+	}
+	return dec
+}
+
+// collectIssuer is the serving-side prefetch.Issuer: it records addresses
+// instead of driving a cache hierarchy. Slots never run out — backpressure
+// is handled at the session layer, not by silently demoting predictions,
+// so decisions stay a deterministic function of the access stream.
+type collectIssuer struct {
+	prefetches []uint64
+	shadows    []uint64
+}
+
+func (c *collectIssuer) reset() {
+	c.prefetches = c.prefetches[:0]
+	c.shadows = c.shadows[:0]
+}
+
+// Prefetch implements prefetch.Issuer.
+func (c *collectIssuer) Prefetch(addr memmodel.Addr, now cache.Cycle) bool {
+	c.prefetches = append(c.prefetches, uint64(addr))
+	return true
+}
+
+// Shadow implements prefetch.Issuer.
+func (c *collectIssuer) Shadow(addr memmodel.Addr) {
+	c.shadows = append(c.shadows, uint64(addr))
+}
+
+// FreePrefetchSlots implements prefetch.Issuer.
+func (c *collectIssuer) FreePrefetchSlots(now cache.Cycle) int { return 1 << 20 }
+
+// FallbackDecision is the degradation-ladder bottom rung: a next-line
+// stride guess computed without touching any learner state, served
+// immediately from the connection reader when a session's inbox is full.
+// Cheap, stateless, safe to produce concurrently with the session worker.
+func FallbackDecision(fr *Frame, blockShift uint) *Frame {
+	blockBytes := uint64(1) << blockShift
+	next := (fr.Addr &^ (blockBytes - 1)) + blockBytes
+	return &Frame{
+		Type:     FrameDecision,
+		Seq:      fr.Seq,
+		Prefetch: []uint64{next},
+		Degraded: true,
+	}
+}
+
+// AccessFrames converts a trace's memory records into the access frames a
+// client streams to the daemon, reproducing the attribute derivation the
+// simulator performs (global 16-bit branch history accumulated in record
+// order). Seq numbering starts at 1.
+func AccessFrames(tr *trace.Trace) []Frame {
+	var out []Frame
+	var hist uint16
+	seq := uint64(0)
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		switch r.Kind {
+		case trace.KindBranch:
+			hist <<= 1
+			if r.Taken {
+				hist |= 1
+			}
+		case trace.KindLoad, trace.KindStore:
+			seq++
+			f := Frame{
+				Type:       FrameAccess,
+				Seq:        seq,
+				PC:         r.PC,
+				Addr:       uint64(r.Addr),
+				Value:      r.Value,
+				Reg:        r.Reg,
+				BranchHist: hist,
+				Store:      r.Kind == trace.KindStore,
+			}
+			if r.Hints.Valid {
+				f.Hints = &Hints{
+					Valid:      true,
+					TypeID:     r.Hints.TypeID,
+					LinkOffset: r.Hints.LinkOffset,
+					RefForm:    uint8(r.Hints.RefForm),
+				}
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SameDecision reports whether two decision frames carry the same
+// prediction payload (ignoring transport markers like Replayed).
+func SameDecision(a, b *Frame) bool {
+	return equalU64(a.Prefetch, b.Prefetch) && equalU64(a.Shadow, b.Shadow)
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,219 @@
+// Package serve is the online serving counterpart of the offline
+// simulator: a long-running daemon (cmd/prefetchd) that accepts streaming
+// access records from many concurrent client sessions over the network
+// and replies with prefetch decisions, with robustness as the headline —
+// session lifecycle with idle expiry, bounded inboxes with explicit
+// backpressure and a degraded fallback policy, learner-state
+// snapshot/restore for warm starts, and per-connection failure
+// containment. See DESIGN.md §14 "Serving and failure model".
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is negotiated in the hello/welcome handshake.
+const ProtocolVersion = 1
+
+// MaxFrameBytes bounds one wire frame. The decoder rejects longer frames
+// before parsing, so a hostile or corrupted peer cannot balloon memory.
+const MaxFrameBytes = 1 << 16
+
+// FrameType discriminates wire frames.
+type FrameType string
+
+// Wire frame types. The protocol is newline-delimited JSON (one object
+// per line): trivially debuggable with netcat, trivially fuzzable, and
+// framed so a chaos proxy can drop/duplicate/delay whole frames.
+const (
+	// FrameHello opens a connection: client → server, naming the session
+	// to create or re-attach.
+	FrameHello FrameType = "hello"
+	// FrameWelcome acknowledges hello: server → client, carrying the
+	// session's last applied sequence number so the client can dedupe.
+	FrameWelcome FrameType = "welcome"
+	// FrameAccess streams one demand access: client → server.
+	FrameAccess FrameType = "access"
+	// FrameDecision answers one access: server → client.
+	FrameDecision FrameType = "decision"
+	// FrameBusy is the explicit backpressure reply: the daemon's global
+	// in-flight budget is exhausted; retry after RetryMs.
+	FrameBusy FrameType = "busy"
+	// FrameError reports a protocol or session error.
+	FrameError FrameType = "error"
+	// FramePing / FramePong keep an idle connection's read deadline fresh.
+	FramePing FrameType = "ping"
+	FramePong FrameType = "pong"
+	// FrameBye detaches cleanly: client → server.
+	FrameBye FrameType = "bye"
+)
+
+// Error codes carried by FrameError.
+const (
+	// CodeBadFrame: the frame failed to parse or validate.
+	CodeBadFrame = "bad-frame"
+	// CodeProtocol: a valid frame arrived in the wrong state (e.g. access
+	// before hello).
+	CodeProtocol = "protocol"
+	// CodeStaleSeq: the access seq was already applied and its decision
+	// has left the replay cache; the client is too far behind.
+	CodeStaleSeq = "stale-seq"
+	// CodeShuttingDown: the daemon is draining; reconnect later.
+	CodeShuttingDown = "shutting-down"
+	// CodeSessionClosed: the session expired or was closed mid-request.
+	CodeSessionClosed = "session-closed"
+)
+
+// Hints mirrors trace.SWHints on the wire.
+type Hints struct {
+	Valid      bool   `json:"valid"`
+	TypeID     uint16 `json:"type_id"`
+	LinkOffset uint16 `json:"link_offset"`
+	RefForm    uint8  `json:"ref_form"`
+}
+
+// Frame is one wire message. A single flat struct (rather than one type
+// per frame kind) keeps the codec allocation-light and the fuzz target
+// simple; Validate enforces per-type required fields.
+type Frame struct {
+	Type FrameType `json:"type"`
+
+	// Hello.
+	Version int    `json:"v,omitempty"`
+	Session string `json:"session,omitempty"`
+
+	// Access / decision correlation. Seq is per-session, strictly
+	// increasing; the first access of a session is seq 1.
+	Seq uint64 `json:"seq,omitempty"`
+
+	// Access payload (mirrors prefetch.Access).
+	PC         uint64 `json:"pc,omitempty"`
+	Addr       uint64 `json:"addr,omitempty"`
+	Value      uint64 `json:"value,omitempty"`
+	Reg        uint64 `json:"reg,omitempty"`
+	BranchHist uint16 `json:"branch_hist,omitempty"`
+	Store      bool   `json:"store,omitempty"`
+	Hints      *Hints `json:"hints,omitempty"`
+
+	// Decision payload: absolute byte addresses to prefetch, and the
+	// shadow (train-only) predictions for observability.
+	Prefetch []uint64 `json:"prefetch,omitempty"`
+	Shadow   []uint64 `json:"shadow,omitempty"`
+	// Degraded marks a fallback decision produced without the learner
+	// (backpressure shed); Replayed marks a decision served from the
+	// replay cache after a duplicate seq.
+	Degraded bool `json:"degraded,omitempty"`
+	Replayed bool `json:"replayed,omitempty"`
+
+	// Welcome payload.
+	LastSeq uint64 `json:"last_seq,omitempty"`
+	// Resumed reports whether the session existed before this attach
+	// (false: created fresh, possibly after an idle expiry).
+	Resumed bool `json:"resumed,omitempty"`
+
+	// Busy payload.
+	RetryMs int `json:"retry_ms,omitempty"`
+
+	// Error payload.
+	Code string `json:"code,omitempty"`
+	Msg  string `json:"msg,omitempty"`
+}
+
+// Validate enforces the per-type frame contract.
+func (f *Frame) Validate() error {
+	switch f.Type {
+	case FrameHello:
+		if f.Version != ProtocolVersion {
+			return fmt.Errorf("serve: hello version %d, want %d", f.Version, ProtocolVersion)
+		}
+		if f.Session == "" || len(f.Session) > 128 {
+			return fmt.Errorf("serve: hello session id empty or too long")
+		}
+	case FrameAccess:
+		if f.Seq == 0 {
+			return fmt.Errorf("serve: access frame without seq")
+		}
+	case FrameWelcome, FrameDecision, FrameBusy, FramePing, FramePong, FrameBye:
+	case FrameError:
+		if f.Code == "" {
+			return fmt.Errorf("serve: error frame without code")
+		}
+	default:
+		return fmt.Errorf("serve: unknown frame type %q", f.Type)
+	}
+	return nil
+}
+
+// DecodeFrame parses and validates one frame from a single line (without
+// the trailing newline). It is the fuzz target FuzzDecodeFrame exercises:
+// it must never panic and never accept a frame Validate rejects.
+func DecodeFrame(line []byte) (*Frame, error) {
+	if len(line) > MaxFrameBytes {
+		return nil, fmt.Errorf("serve: frame of %d bytes exceeds limit %d", len(line), MaxFrameBytes)
+	}
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return nil, fmt.Errorf("serve: bad frame: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// EncodeFrame renders f as one newline-terminated wire line.
+func EncodeFrame(f *Frame) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding frame: %w", err)
+	}
+	if len(b) > MaxFrameBytes {
+		return nil, fmt.Errorf("serve: encoded frame of %d bytes exceeds limit %d", len(b), MaxFrameBytes)
+	}
+	return append(b, '\n'), nil
+}
+
+// FrameReader reads newline-delimited frames with a hard per-frame size
+// bound.
+type FrameReader struct {
+	r *bufio.Reader
+}
+
+// NewFrameReader wraps r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReaderSize(r, 4096)}
+}
+
+// Read returns the next frame. Oversized lines fail without being
+// buffered whole; io.EOF surfaces unchanged so callers can distinguish a
+// clean close.
+func (fr *FrameReader) Read() (*Frame, error) {
+	var line []byte
+	for {
+		chunk, err := fr.r.ReadSlice('\n')
+		if len(chunk) > 0 {
+			line = append(line, chunk...)
+			if len(line) > MaxFrameBytes+1 {
+				return nil, fmt.Errorf("serve: frame exceeds %d bytes", MaxFrameBytes)
+			}
+		}
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err == io.EOF && len(line) > 0 {
+			// A final unterminated line is a truncated frame.
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return DecodeFrame(line[:len(line)-1])
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Type: FrameHello, Version: ProtocolVersion, Session: "s1"},
+		{Type: FrameWelcome, Session: "s1", LastSeq: 42, Resumed: true},
+		{Type: FrameAccess, Seq: 7, PC: 0x400123, Addr: 0xdeadbe00, Value: 9, Reg: 3,
+			BranchHist: 0xabcd, Store: true,
+			Hints: &Hints{Valid: true, TypeID: 2, LinkOffset: 8, RefForm: 1}},
+		{Type: FrameDecision, Seq: 7, Prefetch: []uint64{0xdeadbe40}, Shadow: []uint64{0xdeadbe80}},
+		{Type: FrameDecision, Seq: 8, Degraded: true, Prefetch: []uint64{1}},
+		{Type: FrameBusy, Seq: 9, RetryMs: 50},
+		{Type: FrameError, Code: CodeStaleSeq, Msg: "too old"},
+		{Type: FramePing},
+		{Type: FramePong},
+		{Type: FrameBye},
+	}
+	for _, f := range frames {
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %s: %v", f.Type, err)
+		}
+		if b[len(b)-1] != '\n' {
+			t.Fatalf("encode %s: no trailing newline", f.Type)
+		}
+		got, err := DecodeFrame(b[:len(b)-1])
+		if err != nil {
+			t.Fatalf("decode %s: %v", f.Type, err)
+		}
+		b2, err := EncodeFrame(got)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", f.Type, err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("%s round trip drifted:\n%s%s", f.Type, b, b2)
+		}
+	}
+}
+
+func TestFrameValidateRejects(t *testing.T) {
+	bad := []*Frame{
+		{Type: "bogus"},
+		{Type: FrameHello, Version: ProtocolVersion + 1, Session: "s"},
+		{Type: FrameHello, Version: ProtocolVersion},
+		{Type: FrameHello, Version: ProtocolVersion, Session: strings.Repeat("x", 129)},
+		{Type: FrameAccess},
+		{Type: FrameError},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Fatalf("case %d (%s): invalid frame validated", i, f.Type)
+		}
+		if _, err := EncodeFrame(f); err == nil {
+			t.Fatalf("case %d (%s): invalid frame encoded", i, f.Type)
+		}
+	}
+}
+
+func TestDecodeFrameRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"", "not json", "[1,2,3]", `{"type":}`, `{"type":"access"}`,
+	} {
+		if _, err := DecodeFrame([]byte(line)); err == nil {
+			t.Fatalf("decoded %q", line)
+		}
+	}
+	if _, err := DecodeFrame(bytes.Repeat([]byte("a"), MaxFrameBytes+1)); err == nil {
+		t.Fatal("decoded an oversize frame")
+	}
+}
+
+func TestFrameReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	want := []*Frame{
+		{Type: FrameHello, Version: ProtocolVersion, Session: "s"},
+		{Type: FrameAccess, Seq: 1, Addr: 64},
+		{Type: FrameBye},
+	}
+	for _, f := range want {
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+	}
+	r := NewFrameReader(&buf)
+	for i, w := range want {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != w.Type || got.Seq != w.Seq {
+			t.Fatalf("frame %d: got %s/%d, want %s/%d", i, got.Type, got.Seq, w.Type, w.Seq)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestFrameReaderRejectsOversizeAndTruncated(t *testing.T) {
+	// A line longer than the frame bound must fail without buffering it all.
+	huge := strings.Repeat("x", MaxFrameBytes+2) + "\n"
+	if _, err := NewFrameReader(strings.NewReader(huge)).Read(); err == nil {
+		t.Fatal("read an oversize line")
+	}
+	// A final unterminated line is a truncated frame, not a clean EOF.
+	if _, err := NewFrameReader(strings.NewReader(`{"type":"ping"}`)).Read(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF for truncated tail, got %v", err)
+	}
+}
+
+// FuzzDecodeFrame is the wire-decoder fuzz target: DecodeFrame must never
+// panic, and anything it accepts must re-encode and re-decode cleanly
+// (no frame can pass validation yet be unrepresentable).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","v":1,"session":"s"}`))
+	f.Add([]byte(`{"type":"access","seq":1,"pc":1,"addr":64,"store":true}`))
+	f.Add([]byte(`{"type":"decision","seq":1,"prefetch":[128],"degraded":true}`))
+	f.Add([]byte(`{"type":"error","code":"bad-frame","msg":"x"}`))
+	f.Add([]byte(`{"type":"busy","retry_ms":50}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"type":"access","seq":0}`))
+	f.Add([]byte(`{"hints":{"valid":true}}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fr, err := DecodeFrame(line)
+		if err != nil {
+			return
+		}
+		b, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame failed to encode: %v (input %q)", err, line)
+		}
+		if _, err := DecodeFrame(b[:len(b)-1]); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v (input %q)", err, line)
+		}
+	})
+}

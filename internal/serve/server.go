@@ -1,0 +1,503 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semloc/internal/core"
+	"semloc/internal/harness"
+	"semloc/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value plus Listen is usable;
+// withDefaults fills the rest.
+type Config struct {
+	// Listen is the TCP address for the serving socket ("127.0.0.1:0" for
+	// an ephemeral test port).
+	Listen string
+
+	// SessionTTL expires detached sessions idle for longer than this;
+	// ReapInterval is how often the reaper scans (default TTL/4).
+	SessionTTL   time.Duration
+	ReapInterval time.Duration
+
+	// InboxDepth bounds each session's inbox; a full inbox sheds the
+	// access with an immediate degraded fallback decision. ReplayDepth
+	// bounds the per-session duplicate-decision cache.
+	InboxDepth  int
+	ReplayDepth int
+
+	// MaxInflight caps accesses accepted but not yet answered across all
+	// sessions; beyond it clients get an explicit busy frame.
+	MaxInflight int
+	// RetryMs is the backoff hint carried by busy frames.
+	RetryMs int
+
+	// ReadTimeout bounds the gap between frames on a connection (a dead
+	// peer is collected instead of pinning a reader goroutine forever);
+	// WriteTimeout bounds one reply write.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	// SnapshotPath, when set, enables durability: restore-on-boot plus
+	// periodic (SnapshotInterval) and on-shutdown snapshots.
+	SnapshotPath     string
+	SnapshotInterval time.Duration
+
+	// Learner configures fresh sessions' prefetchers (zero: core defaults).
+	Learner core.Config
+	// BlockShift is the cache-block shift used by the degraded fallback
+	// (default 6: 64-byte lines).
+	BlockShift uint
+
+	// Shards is the session-store shard count.
+	Shards int
+
+	// Reg receives serving metrics; nil gets a private registry.
+	Reg *obs.Registry
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.ReapInterval <= 0 {
+		c.ReapInterval = c.SessionTTL / 4
+	}
+	if c.InboxDepth <= 0 {
+		c.InboxDepth = 64
+	}
+	if c.ReplayDepth <= 0 {
+		c.ReplayDepth = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 1024
+	}
+	if c.RetryMs <= 0 {
+		c.RetryMs = 50
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 60 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.BlockShift == 0 {
+		c.BlockShift = 6
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Reg == nil {
+		c.Reg = obs.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the prefetch-serving daemon core: a TCP accept loop feeding
+// per-session workers, with idle reaping, snapshot durability and a
+// graceful drain. Lifecycle: New → Start → (serve) → Close.
+type Server struct {
+	cfg   Config
+	store *sessionStore
+
+	ln       net.Listener
+	draining atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	loops    sync.WaitGroup // accept loop, reaper, snapshotter
+	readers  sync.WaitGroup // one per live connection
+	bg       chan struct{}  // closed to stop reaper/snapshotter
+	stopOnce sync.Once
+
+	inflight atomic.Int64
+
+	// restored reports how many sessions the boot snapshot rebuilt.
+	restored int
+
+	// Test-only fault injection, set before Start: gate, when non-nil,
+	// makes every session worker wait for a token before processing an
+	// item (deterministic inbox filling for backpressure tests);
+	// panicOnSeq, when non-zero, panics inside process() at that seq
+	// (exercises the containment path without corrupting real state).
+	gate       chan struct{}
+	panicOnSeq uint64
+
+	decisionsTotal *obs.Counter
+	degradedTotal  *obs.Counter
+	busyTotal      *obs.Counter
+	replayedTotal  *obs.Counter
+	staleTotal     *obs.Counter
+	panicsTotal    *obs.Counter
+	badFrames      *obs.Counter
+	snapsTotal     *obs.Counter
+	snapErrors     *obs.Counter
+	reapedTotal    *obs.Counter
+	sessionsGauge  *obs.Gauge
+	connsGauge     *obs.Gauge
+	inflightGauge  *obs.Gauge
+}
+
+// NewServer builds a server and, when SnapshotPath is set, restores the
+// boot snapshot (warm start) before any socket exists — a caller flips
+// readiness only after Start returns, so clients never reach a learner
+// that is still loading state.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		store: newSessionStore(cfg.Shards),
+		conns: make(map[net.Conn]struct{}),
+		bg:    make(chan struct{}),
+	}
+	reg := cfg.Reg
+	s.decisionsTotal = reg.Counter("serve_decisions_total", "prefetch decisions computed by session learners")
+	s.degradedTotal = reg.Counter("serve_degraded_total", "accesses shed to the degraded fallback policy (inbox full)")
+	s.busyTotal = reg.Counter("serve_busy_total", "accesses refused with a busy frame (global in-flight limit)")
+	s.replayedTotal = reg.Counter("serve_replayed_total", "duplicate accesses answered from the replay cache")
+	s.staleTotal = reg.Counter("serve_stale_seq_total", "duplicate accesses older than the replay cache")
+	s.panicsTotal = reg.Counter("serve_session_panics_total", "sessions poisoned by a contained learner panic")
+	s.badFrames = reg.Counter("serve_bad_frames_total", "connection frames that failed to decode or validate")
+	s.snapsTotal = reg.Counter("serve_snapshots_total", "snapshots written")
+	s.snapErrors = reg.Counter("serve_snapshot_errors_total", "snapshot writes that failed")
+	s.reapedTotal = reg.Counter("serve_sessions_reaped_total", "idle sessions expired by the reaper")
+	s.sessionsGauge = reg.Gauge("serve_sessions", "live sessions")
+	s.connsGauge = reg.Gauge("serve_connections", "open client connections")
+	s.inflightGauge = reg.Gauge("serve_inflight", "accesses accepted but not yet answered")
+
+	if cfg.SnapshotPath != "" {
+		snap, err := LoadSnapshot(cfg.SnapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			for _, ss := range snap.Sessions {
+				sess, err := restoreSession(ss, s)
+				if err != nil {
+					return nil, err
+				}
+				s.store.put(sess)
+			}
+			s.restored = len(snap.Sessions)
+			cfg.Logf("serve: warm start: restored %d session(s) from %s", s.restored, cfg.SnapshotPath)
+		}
+	}
+	s.sessionsGauge.Set(float64(s.store.count()))
+	return s, nil
+}
+
+// RestoredSessions reports how many sessions the boot snapshot rebuilt.
+func (s *Server) RestoredSessions() int { return s.restored }
+
+// Start binds the listener and launches the accept loop, the idle reaper
+// and (when configured) the periodic snapshotter.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Listen, err)
+	}
+	s.ln = ln
+	s.loops.Add(1)
+	go s.acceptLoop()
+	s.loops.Add(1)
+	go s.reapLoop()
+	if s.cfg.SnapshotPath != "" {
+		s.loops.Add(1)
+		go s.snapshotLoop()
+	}
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close drains gracefully: stop accepting, sever connections, wait for
+// readers, let every session worker finish what it already accepted, then
+// write the final snapshot. Safe to call more than once.
+func (s *Server) Close() error {
+	s.teardown()
+	var err error
+	if s.cfg.SnapshotPath != "" {
+		if err = s.writeSnapshot(); err != nil {
+			s.cfg.Logf("serve: final snapshot failed: %v", err)
+		}
+	}
+	return err
+}
+
+// teardown is the shared stop sequence: stop accepting, sever
+// connections, wait for readers, stop the background loops, and drain
+// every session worker. Idempotent.
+func (s *Server) teardown() {
+	s.draining.Store(true)
+	s.stopOnce.Do(func() {
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		s.readers.Wait()
+		close(s.bg)
+		s.loops.Wait()
+		for _, sess := range s.store.all() {
+			sess.close()
+		}
+	})
+}
+
+// Abort terminates like a crash: connections sever, goroutines stop, but
+// no final snapshot is written — a restart sees only what the last
+// periodic snapshot captured. The chaos tests use it to prove the
+// restore path tolerates ungraceful death.
+func (s *Server) Abort() { s.teardown() }
+
+// WriteSnapshot forces one snapshot write now (the periodic loop calls
+// the same path on its ticker).
+func (s *Server) WriteSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return fmt.Errorf("serve: no snapshot path configured")
+	}
+	return s.writeSnapshot()
+}
+
+// Snapshot captures every live session, sorted by id.
+func (s *Server) Snapshot() *Snapshot {
+	sessions := s.store.all()
+	snap := &Snapshot{}
+	for _, sess := range sessions {
+		snap.Sessions = append(snap.Sessions, sess.snapshot())
+	}
+	return snap
+}
+
+func (s *Server) writeSnapshot() error {
+	if err := SaveSnapshot(s.cfg.SnapshotPath, s.Snapshot()); err != nil {
+		s.snapErrors.Inc()
+		return err
+	}
+	s.snapsTotal.Inc()
+	return nil
+}
+
+func (s *Server) snapshotLoop() {
+	defer s.loops.Done()
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.bg:
+			return
+		case <-t.C:
+			if err := s.writeSnapshot(); err != nil {
+				s.cfg.Logf("serve: periodic snapshot failed: %v", err)
+			}
+		}
+	}
+}
+
+func (s *Server) reapLoop() {
+	defer s.loops.Done()
+	t := time.NewTicker(s.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.bg:
+			return
+		case now := <-t.C:
+			dead := s.store.reapIdle(s.cfg.SessionTTL, now)
+			for _, sess := range dead {
+				sess.close()
+				s.reapedTotal.Inc()
+			}
+			if len(dead) > 0 {
+				s.cfg.Logf("serve: reaped %d idle session(s)", len(dead))
+			}
+			s.sessionsGauge.Set(float64(s.store.count()))
+			s.inflightGauge.Set(float64(s.inflight.Load()))
+		}
+	}
+}
+
+// noteSessionPanic records a contained learner panic and unlinks the
+// poisoned session so the next hello under the same id starts fresh.
+func (s *Server) noteSessionPanic(sess *session, err error) {
+	s.panicsTotal.Inc()
+	s.store.remove(sess)
+	s.cfg.Logf("serve: session %s poisoned by contained panic: %v", sess.id, err)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.loops.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (drain) or fatal; either way stop accepting
+		}
+		s.connMu.Lock()
+		if s.draining.Load() {
+			s.connMu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		// Registering the reader under connMu means Close() either sees
+		// this connection in the map (and severs it) or sees draining set
+		// before we got here — readers.Wait() can never miss a reader.
+		s.readers.Add(1)
+		s.connMu.Unlock()
+		s.connsGauge.Add(1)
+		go func(c net.Conn) {
+			defer s.readers.Done()
+			// A panic in connection handling takes down this connection
+			// only, never the daemon.
+			if err := harness.Safely(func() error {
+				s.handleConn(c)
+				return nil
+			}); err != nil {
+				s.cfg.Logf("serve: connection handler panic contained: %v", err)
+			}
+			c.Close()
+			s.connMu.Lock()
+			delete(s.conns, c)
+			s.connMu.Unlock()
+			s.connsGauge.Add(-1)
+		}(c)
+	}
+}
+
+// handleConn runs one connection: hello/welcome handshake, then a frame
+// loop under a per-frame read deadline.
+func (s *Server) handleConn(c net.Conn) {
+	w := newConnWriter(c, s.cfg.WriteTimeout)
+	r := NewFrameReader(c)
+
+	c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	first, err := r.Read()
+	if err != nil {
+		s.badFrames.Inc()
+		w.write(&Frame{Type: FrameError, Code: CodeBadFrame, Msg: fmt.Sprintf("reading hello: %v", err)})
+		return
+	}
+	if first.Type != FrameHello {
+		w.write(&Frame{Type: FrameError, Code: CodeProtocol, Msg: fmt.Sprintf("expected hello, got %s", first.Type)})
+		return
+	}
+	if s.draining.Load() {
+		w.write(&Frame{Type: FrameError, Code: CodeShuttingDown, Msg: "draining"})
+		return
+	}
+	sess, existed, err := s.store.getOrCreate(first.Session, func() (*session, error) {
+		l, err := NewLearner(s.cfg.Learner)
+		if err != nil {
+			return nil, err
+		}
+		return newSession(first.Session, l, s), nil
+	})
+	if err != nil {
+		w.write(&Frame{Type: FrameError, Code: CodeProtocol, Msg: fmt.Sprintf("creating session: %v", err)})
+		return
+	}
+	lastSeq := sess.attach(w)
+	defer sess.detach(w)
+	s.sessionsGauge.Set(float64(s.store.count()))
+	if !w.write(&Frame{Type: FrameWelcome, Session: sess.id, LastSeq: lastSeq, Resumed: existed}) {
+		return
+	}
+
+	for {
+		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		fr, err := r.Read()
+		if err != nil {
+			// io errors (peer gone, deadline, drain-close) end the
+			// connection silently; decode errors get one parting error
+			// frame — after a framing desync the stream is unusable.
+			if _, ok := err.(net.Error); !ok {
+				s.badFrames.Inc()
+				w.write(&Frame{Type: FrameError, Code: CodeBadFrame, Msg: err.Error()})
+			}
+			return
+		}
+		switch fr.Type {
+		case FrameAccess:
+			s.handleAccess(sess, fr, w)
+		case FramePing:
+			w.write(&Frame{Type: FramePong})
+		case FrameBye:
+			return
+		default:
+			w.write(&Frame{Type: FrameError, Code: CodeProtocol,
+				Msg: fmt.Sprintf("unexpected %s frame after handshake", fr.Type)})
+		}
+	}
+}
+
+// handleAccess walks the degradation ladder for one access:
+//
+//  1. global in-flight budget exhausted → explicit busy frame
+//  2. session inbox full → immediate degraded fallback decision
+//  3. session closed/expired → session-closed error (client re-hellos)
+//  4. otherwise → enqueue for the session worker
+func (s *Server) handleAccess(sess *session, fr *Frame, w *connWriter) {
+	if n := s.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		s.busyTotal.Inc()
+		w.write(&Frame{Type: FrameBusy, Seq: fr.Seq, RetryMs: s.cfg.RetryMs})
+		return
+	}
+	switch sess.enqueue(inboxItem{fr: fr, conn: w}) {
+	case enqueueOK:
+		// The worker owns the in-flight slot now.
+	case enqueueFull:
+		s.inflight.Add(-1)
+		s.degradedTotal.Inc()
+		w.write(FallbackDecision(fr, s.cfg.BlockShift))
+	case enqueueClosed:
+		s.inflight.Add(-1)
+		w.write(&Frame{Type: FrameError, Seq: fr.Seq, Code: CodeSessionClosed,
+			Msg: "session closed or expired; reconnect with a new hello"})
+	}
+}
+
+// connWriter serializes frame writes to one connection under a write
+// deadline. Both the connection reader (busy/error/fallback replies) and
+// the session worker (decisions) write through it concurrently.
+type connWriter struct {
+	mu      sync.Mutex
+	c       net.Conn
+	timeout time.Duration
+}
+
+func newConnWriter(c net.Conn, timeout time.Duration) *connWriter {
+	return &connWriter{c: c, timeout: timeout}
+}
+
+// write sends one frame, reporting success. Failures (peer gone, frame
+// invalid) are swallowed: the reader's next Read surfaces the broken
+// connection, and the client's retry discipline recovers the decision.
+func (w *connWriter) write(f *Frame) bool {
+	b, err := EncodeFrame(f)
+	if err != nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.c.SetWriteDeadline(time.Now().Add(w.timeout))
+	_, err = w.c.Write(b)
+	return err == nil
+}

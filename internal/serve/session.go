@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semloc/internal/core"
+	"semloc/internal/harness"
+)
+
+// SessionSnapshot is one session's slice of a daemon snapshot: the learner
+// state plus the exactly-once bookkeeping (last applied seq and the replay
+// cache), so a client that resends an acked-but-unanswered access after a
+// restart gets the original decision replayed instead of double-training
+// the learner.
+type SessionSnapshot struct {
+	ID      string             `json:"id"`
+	LastSeq uint64             `json:"last_seq"`
+	Replay  []ReplayEntry      `json:"replay,omitempty"`
+	Learner *core.LearnerState `json:"learner"`
+}
+
+// ReplayEntry is one cached decision, keyed by the access seq it answered.
+type ReplayEntry struct {
+	Seq      uint64   `json:"seq"`
+	Prefetch []uint64 `json:"prefetch,omitempty"`
+	Shadow   []uint64 `json:"shadow,omitempty"`
+}
+
+// inboxItem is one access awaiting the session worker, together with the
+// connection to answer on.
+type inboxItem struct {
+	fr   *Frame
+	conn *connWriter
+}
+
+// session is one client stream's server-side state: a learner, a bounded
+// inbox drained by a dedicated worker goroutine, the exactly-once seq
+// bookkeeping, and attachment to at most one connection at a time.
+type session struct {
+	id  string
+	srv *Server
+
+	// mu guards learner, lastSeq, replay and closed. The worker holds it
+	// while processing; the snapshotter holds it while saving.
+	mu      sync.Mutex
+	learner *Learner
+	lastSeq uint64
+	replay  replayRing
+	closed  bool
+
+	inbox chan inboxItem
+	done  chan struct{} // closed when the worker has exited
+
+	// attached is the connection currently owning this session (nil when
+	// detached). Guarded by attachMu, not mu: attachment changes must not
+	// wait behind a long learner step.
+	attachMu sync.Mutex
+	attached *connWriter
+
+	lastActive atomic.Int64 // unix nanos of the last touch
+}
+
+func newSession(id string, l *Learner, srv *Server) *session {
+	s := &session{
+		id:      id,
+		srv:     srv,
+		learner: l,
+		inbox:   make(chan inboxItem, srv.cfg.InboxDepth),
+		done:    make(chan struct{}),
+	}
+	s.replay.init(srv.cfg.ReplayDepth)
+	s.touch()
+	go s.work()
+	return s
+}
+
+func (s *session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+func (s *session) idleFor(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, s.lastActive.Load()))
+}
+
+// attach makes conn the session's owner, stealing it from a previous
+// connection if one is still attached (the common half-open case after a
+// client-side reconnect: the new connection wins, writes to the old one
+// fail and its reader exits on its own deadline).
+func (s *session) attach(conn *connWriter) (lastSeq uint64) {
+	s.attachMu.Lock()
+	s.attached = conn
+	s.attachMu.Unlock()
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// detach releases the session if conn still owns it.
+func (s *session) detach(conn *connWriter) {
+	s.attachMu.Lock()
+	if s.attached == conn {
+		s.attached = nil
+	}
+	s.attachMu.Unlock()
+}
+
+// enqueueResult classifies an enqueue attempt.
+type enqueueResult int
+
+const (
+	enqueueOK enqueueResult = iota
+	// enqueueFull: the bounded inbox is at capacity — the caller sheds
+	// load with a degraded fallback decision instead of blocking.
+	enqueueFull
+	// enqueueClosed: the session expired or the daemon is draining.
+	enqueueClosed
+)
+
+// enqueue offers one access to the worker without ever blocking the
+// connection reader.
+func (s *session) enqueue(it inboxItem) enqueueResult {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return enqueueClosed
+	}
+	select {
+	case s.inbox <- it:
+		s.mu.Unlock()
+		return enqueueOK
+	default:
+		s.mu.Unlock()
+		return enqueueFull
+	}
+}
+
+// close stops the worker after it drains everything already accepted, and
+// waits for it to exit. Idempotent.
+func (s *session) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	close(s.inbox)
+	s.mu.Unlock()
+	<-s.done
+}
+
+// work is the session's single worker goroutine: it serializes all
+// learner access, applies the exactly-once seq discipline, and answers on
+// the item's connection. A panic in the learner is contained to this
+// session: the panic is converted to a typed error, the session is marked
+// closed, and every queued client gets an error frame instead of silence.
+func (s *session) work() {
+	defer close(s.done)
+	for it := range s.inbox {
+		if g := s.srv.gate; g != nil {
+			<-g
+		}
+		err := harness.Safely(func() error {
+			s.process(it)
+			return nil
+		})
+		s.srv.inflight.Add(-1)
+		if err == nil {
+			continue
+		}
+		// The session is poisoned: mark it closed so no further enqueues
+		// land, close the inbox ourselves (close() may not have run), fail
+		// the queued remainder, and exit. Never call s.close() here — it
+		// waits on done, which this goroutine owns.
+		s.mu.Lock()
+		if !s.closed {
+			s.closed = true
+			close(s.inbox)
+		}
+		s.mu.Unlock()
+		s.srv.noteSessionPanic(s, err)
+		s.fail(it, err)
+		for it := range s.inbox {
+			s.fail(it, err)
+			s.srv.inflight.Add(-1)
+		}
+		return
+	}
+}
+
+// fail answers one queued item with a session-closed error.
+func (s *session) fail(it inboxItem, err error) {
+	it.conn.write(&Frame{
+		Type: FrameError, Seq: it.fr.Seq,
+		Code: CodeSessionClosed, Msg: fmt.Sprintf("session %s: %v", s.id, err),
+	})
+}
+
+// process applies one access under the exactly-once discipline:
+//
+//	seq == lastSeq+k (k>=1): fresh — train the learner, cache and reply
+//	seq <= lastSeq, cached:  duplicate — replay the original decision
+//	seq <= lastSeq, evicted: too old — stale-seq error
+func (s *session) process(it inboxItem) {
+	fr := it.fr
+	s.touch()
+	if q := s.srv.panicOnSeq; q != 0 && fr.Seq == q {
+		panic(fmt.Sprintf("injected fault at seq %d", q))
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.fail(it, fmt.Errorf("closed"))
+		return
+	}
+	if fr.Seq <= s.lastSeq {
+		entry, ok := s.replay.get(fr.Seq)
+		s.mu.Unlock()
+		if !ok {
+			s.srv.staleTotal.Inc()
+			it.conn.write(&Frame{
+				Type: FrameError, Seq: fr.Seq, Code: CodeStaleSeq,
+				Msg: fmt.Sprintf("seq %d already applied and evicted from the replay cache", fr.Seq),
+			})
+			return
+		}
+		s.srv.replayedTotal.Inc()
+		it.conn.write(&Frame{
+			Type: FrameDecision, Seq: fr.Seq,
+			Prefetch: entry.Prefetch, Shadow: entry.Shadow, Replayed: true,
+		})
+		return
+	}
+	dec := s.learner.Decide(fr)
+	dec.Seq = fr.Seq
+	s.lastSeq = fr.Seq
+	s.replay.put(ReplayEntry{Seq: fr.Seq, Prefetch: dec.Prefetch, Shadow: dec.Shadow})
+	s.mu.Unlock()
+	s.srv.decisionsTotal.Inc()
+	it.conn.write(dec)
+}
+
+// snapshot captures the session under its lock.
+func (s *session) snapshot() SessionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionSnapshot{
+		ID:      s.id,
+		LastSeq: s.lastSeq,
+		Replay:  s.replay.entries(),
+		Learner: s.learner.Save(),
+	}
+}
+
+// restoreSession rebuilds a session from a snapshot slice.
+func restoreSession(snap SessionSnapshot, srv *Server) (*session, error) {
+	l, err := RestoreLearner(snap.Learner)
+	if err != nil {
+		return nil, fmt.Errorf("serve: session %s: %w", snap.ID, err)
+	}
+	s := newSession(snap.ID, l, srv)
+	s.lastSeq = snap.LastSeq
+	for _, e := range snap.Replay {
+		s.replay.put(e)
+	}
+	return s, nil
+}
+
+// replayRing caches the most recent decisions by seq for duplicate
+// suppression, bounded and allocation-stable.
+type replayRing struct {
+	entries_ []ReplayEntry
+	next     int
+	filled   bool
+}
+
+func (r *replayRing) init(depth int) {
+	if depth <= 0 {
+		depth = 1
+	}
+	r.entries_ = make([]ReplayEntry, depth)
+}
+
+func (r *replayRing) put(e ReplayEntry) {
+	r.entries_[r.next] = e
+	r.next++
+	if r.next == len(r.entries_) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+func (r *replayRing) get(seq uint64) (ReplayEntry, bool) {
+	for i := range r.entries_ {
+		if r.entries_[i].Seq == seq && seq != 0 {
+			return r.entries_[i], true
+		}
+	}
+	return ReplayEntry{}, false
+}
+
+// entries returns the cached decisions in ascending seq order (snapshot
+// determinism).
+func (r *replayRing) entries() []ReplayEntry {
+	var out []ReplayEntry
+	for i := range r.entries_ {
+		if r.entries_[i].Seq != 0 {
+			out = append(out, r.entries_[i])
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Seq < out[j-1].Seq; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SnapshotSchema versions the daemon snapshot envelope (the per-learner
+// encoding is versioned separately by core.StateSchema).
+const SnapshotSchema = 1
+
+// Snapshot is the daemon's durable state: every live session, sorted by
+// id so marshaling is deterministic.
+type Snapshot struct {
+	Sessions []SessionSnapshot `json:"sessions"`
+}
+
+// snapshotFile is the on-disk envelope: the payload bytes plus a sha256
+// over exactly those bytes, so a torn or bit-flipped file is detected at
+// restore instead of silently warm-starting a corrupt learner.
+type snapshotFile struct {
+	Schema  int             `json:"schema"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// SaveSnapshot atomically persists snap at path: the envelope is written
+// to a temp file in the same directory and renamed into place, so readers
+// only ever observe a complete previous or complete new snapshot.
+func SaveSnapshot(path string, snap *Snapshot) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("serve: encoding snapshot: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	env, err := json.Marshal(snapshotFile{
+		Schema:  SnapshotSchema,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: encoding snapshot envelope: %w", err)
+	}
+	env = append(env, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(env); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: installing snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads and verifies a snapshot. A missing file is not an
+// error: it returns (nil, nil) — the cold-start case.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading snapshot: %w", err)
+	}
+	var env snapshotFile
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("serve: parsing snapshot envelope: %w", err)
+	}
+	if env.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("serve: snapshot schema %d, want %d", env.Schema, SnapshotSchema)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if got := hex.EncodeToString(sum[:]); got != env.SHA256 {
+		return nil, fmt.Errorf("serve: snapshot checksum mismatch: file says %s, payload hashes to %s", env.SHA256, got)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(env.Payload, &snap); err != nil {
+		return nil, fmt.Errorf("serve: parsing snapshot payload: %w", err)
+	}
+	for i := range snap.Sessions {
+		ss := &snap.Sessions[i]
+		if ss.ID == "" {
+			return nil, fmt.Errorf("serve: snapshot session %d has empty id", i)
+		}
+		if err := ss.Learner.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: snapshot session %s: %w", ss.ID, err)
+		}
+	}
+	return &snap, nil
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// sessionStore shards sessions by FNV-1a of the id so concurrent
+// hello/reap traffic on unrelated sessions never contends on one lock.
+type sessionStore struct {
+	shards []storeShard
+}
+
+type storeShard struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+func newSessionStore(shards int) *sessionStore {
+	if shards <= 0 {
+		shards = 1
+	}
+	st := &sessionStore{shards: make([]storeShard, shards)}
+	for i := range st.shards {
+		st.shards[i].sessions = make(map[string]*session)
+	}
+	return st
+}
+
+func (st *sessionStore) shard(id string) *storeShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &st.shards[h.Sum32()%uint32(len(st.shards))]
+}
+
+// getOrCreate returns the session for id, creating it with mk when absent.
+// existed reports whether the session predated this call.
+func (st *sessionStore) getOrCreate(id string, mk func() (*session, error)) (s *session, existed bool, err error) {
+	sh := st.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.sessions[id]; ok {
+		return s, true, nil
+	}
+	s, err = mk()
+	if err != nil {
+		return nil, false, err
+	}
+	sh.sessions[id] = s
+	return s, false, nil
+}
+
+// put inserts a restored session (boot-time warm start; no races yet).
+func (st *sessionStore) put(s *session) {
+	sh := st.shard(s.id)
+	sh.mu.Lock()
+	sh.sessions[s.id] = s
+	sh.mu.Unlock()
+}
+
+// remove unlinks s if the map still holds this exact pointer (a newer
+// session under the same id is left alone).
+func (st *sessionStore) remove(s *session) {
+	sh := st.shard(s.id)
+	sh.mu.Lock()
+	if cur, ok := sh.sessions[s.id]; ok && cur == s {
+		delete(sh.sessions, s.id)
+	}
+	sh.mu.Unlock()
+}
+
+// all returns every live session sorted by id (snapshot determinism).
+func (st *sessionStore) all() []*session {
+	var out []*session
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			out = append(out, s)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// count returns the number of live sessions.
+func (st *sessionStore) count() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// reapIdle removes every detached session idle for longer than ttl and
+// returns the removed set; the caller closes them outside the shard locks.
+func (st *sessionStore) reapIdle(ttl time.Duration, now time.Time) []*session {
+	var dead []*session
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			s.attachMu.Lock()
+			attached := s.attached != nil
+			s.attachMu.Unlock()
+			if !attached && s.idleFor(now) > ttl {
+				delete(sh.sessions, id)
+				dead = append(dead, s)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dead
+}

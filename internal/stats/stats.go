@@ -45,6 +45,14 @@ func (h *Histogram) Reset() {
 	h.total = 0
 }
 
+// Clone returns an independent copy (used by learner-state snapshots so a
+// live histogram cannot mutate a captured one).
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{counts: make([]uint64, len(h.counts)), total: h.total}
+	copy(c.counts, h.counts)
+	return c
+}
+
 // Count returns the number of observations equal to v (after clamping).
 func (h *Histogram) Count(v int) uint64 {
 	if v < 0 || v >= len(h.counts) {
