@@ -9,7 +9,7 @@
 # warm-start, chaos transport).
 
 GO ?= go
-BENCH_N ?= 3
+BENCH_N ?= 4
 
 .PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard obs-smoke serve-smoke check clean
 
@@ -50,7 +50,7 @@ bench-smoke:
 # (>10% ns/access on any shared matrix cell, or any real allocs/access
 # increase). Override OLD/NEW to compare other baselines:
 #   make bench-diff OLD=BENCH_2.json NEW=BENCH_3.json
-OLD ?= BENCH_2.json
+OLD ?= BENCH_3.json
 NEW ?= BENCH_$(BENCH_N).json
 bench-diff:
 	$(GO) run ./cmd/bench -compare $(OLD) $(NEW)

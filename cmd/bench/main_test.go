@@ -14,9 +14,15 @@ import (
 func TestQuickMatrixReport(t *testing.T) {
 	m := QuickMatrix()
 	m.Scale = 0.02
+	// Two timed passes exercise the min-of-K path: each pass re-simulates
+	// on a fresh runner and must reproduce the warm pass's IPC exactly.
+	m.TimedPasses = 2
 	rep, err := Run(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.TimedPasses != 2 {
+		t.Fatalf("report records %d timed passes, want 2", rep.TimedPasses)
 	}
 	if err := rep.Validate(m); err != nil {
 		t.Fatal(err)
@@ -45,6 +51,7 @@ func TestValidateRejectsMalformed(t *testing.T) {
 	good := Report{
 		Schema:           1,
 		TimedParallelism: 1,
+		TimedPasses:      1,
 		Entries:          []Entry{{Workload: "list", Prefetcher: "none", Accesses: 10, WallNS: 5, NSPerAccess: 0.5, IPC: 1}},
 		TotalWallNS:      5,
 	}
@@ -70,6 +77,11 @@ func TestValidateRejectsMalformed(t *testing.T) {
 	bad.TimedParallelism = 4
 	if err := bad.Validate(m); err == nil {
 		t.Error("parallel timed pass accepted; timings are only valid sequentially")
+	}
+	bad = good
+	bad.TimedPasses = 0
+	if err := bad.Validate(m); err == nil {
+		t.Error("report without a timed pass accepted")
 	}
 }
 

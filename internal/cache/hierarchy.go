@@ -129,23 +129,24 @@ func (h *Hierarchy) access(addr memmodel.Addr, now Cycle, store bool) Result {
 	line := memmodel.LineOf(addr)
 	h.l1.stats.Accesses++
 
-	if w := h.l1.lookup(line); w != nil {
-		h.l1.touch(w)
+	if wi := h.l1.lookup(line); wi >= 0 {
+		h.l1.touch(wi)
+		m := &h.l1.meta[wi]
 		if store {
-			w.dirty = true
+			m.dirty = true
 		}
-		firstPrefetchTouch := w.prefetched && !w.everUsed
+		firstPrefetchTouch := m.prefetched && !m.everUsed
 		if firstPrefetchTouch {
-			w.everUsed = true
+			m.everUsed = true
 		}
-		if w.fillTime <= now {
-			// Plain L1 hit.
-			return Result{Done: now + h.cfg.L1.Latency, Outcome: OutcomeL1Hit, PrefetchedLine: firstPrefetchTouch}
+		if ft := h.l1.fill[wi]; ft > now {
+			// Line still in flight: wait for the fill.
+			h.l1.stats.Misses++
+			h.l1.stats.InFlightHits++
+			return Result{Done: maxCycle(ft, now+h.cfg.L1.Latency), Outcome: OutcomeL1InFlight, PrefetchedLine: firstPrefetchTouch}
 		}
-		// Line still in flight: wait for the fill.
-		h.l1.stats.Misses++
-		h.l1.stats.InFlightHits++
-		return Result{Done: maxCycle(w.fillTime, now+h.cfg.L1.Latency), Outcome: OutcomeL1InFlight, PrefetchedLine: firstPrefetchTouch}
+		// Plain L1 hit.
+		return Result{Done: now + h.cfg.L1.Latency, Outcome: OutcomeL1Hit, PrefetchedLine: firstPrefetchTouch}
 	}
 
 	// L1 miss.
@@ -153,9 +154,9 @@ func (h *Hierarchy) access(addr memmodel.Addr, now Cycle, store bool) Result {
 	start, idx := h.l1.mshr.acquire(now)
 	fill, outcome := h.accessL2(line, start+h.cfg.L1.Latency, false)
 	h.l1.mshr.hold(idx, fill)
-	w, dirtyEvict := h.l1.install(line, now, fill, false, false)
+	wi, dirtyEvict := h.l1.install(line, now, fill, false, false)
 	if store {
-		w.dirty = true
+		h.l1.meta[wi].dirty = true
 	}
 	if dirtyEvict {
 		// L1 write-back drains into the L2 (marking it dirty there);
@@ -170,8 +171,8 @@ func (h *Hierarchy) markL2Dirty(line memmodel.Line) {
 	// The evicted line's L2 copy is usually resident (it was filled on the
 	// original miss); if it has since been evicted, the write-back would
 	// allocate, which this model folds into the general DRAM traffic.
-	if w := h.l2.lookup(line); w != nil {
-		w.dirty = true
+	if wi := h.l2.lookup(line); wi >= 0 {
+		h.l2.meta[wi].dirty = true
 	}
 }
 
@@ -182,19 +183,21 @@ func (h *Hierarchy) accessL2(line memmodel.Line, t Cycle, prefetch bool) (Cycle,
 	if !prefetch {
 		h.l2.stats.Accesses++
 	}
-	if w := h.l2.lookup(line); w != nil {
-		h.l2.touch(w)
-		if w.prefetched && !w.everUsed && !prefetch {
-			w.everUsed = true
+	if wi := h.l2.lookup(line); wi >= 0 {
+		h.l2.touch(wi)
+		m := &h.l2.meta[wi]
+		if m.prefetched && !m.everUsed && !prefetch {
+			m.everUsed = true
 		}
-		if w.fillTime <= t {
+		ft := h.l2.fill[wi]
+		if ft <= t {
 			return t + h.cfg.L2.Latency, OutcomeL2Hit
 		}
 		if !prefetch {
 			h.l2.stats.Misses++
 			h.l2.stats.InFlightHits++
 		}
-		return maxCycle(w.fillTime, t+h.cfg.L2.Latency), OutcomeL2InFlight
+		return maxCycle(ft, t+h.cfg.L2.Latency), OutcomeL2InFlight
 	}
 	if !prefetch {
 		h.l2.stats.Misses++
@@ -231,7 +234,7 @@ func (h *Hierarchy) accessL2(line memmodel.Line, t Cycle, prefetch bool) (Cycle,
 // total outstanding traffic.
 func (h *Hierarchy) Prefetch(addr memmodel.Addr, now Cycle) bool {
 	line := memmodel.LineOf(addr)
-	if w := h.l1.lookup(line); w != nil {
+	if h.l1.lookup(line) >= 0 {
 		h.l1.stats.PrefetchDrops++
 		return false
 	}
@@ -252,9 +255,9 @@ func (h *Hierarchy) Contains(levelNum int, addr memmodel.Addr) bool {
 	line := memmodel.LineOf(addr)
 	switch levelNum {
 	case 1:
-		return h.l1.lookup(line) != nil
+		return h.l1.lookup(line) >= 0
 	case 2:
-		return h.l2.lookup(line) != nil
+		return h.l2.lookup(line) >= 0
 	default:
 		return false
 	}

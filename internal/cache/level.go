@@ -4,14 +4,10 @@ import (
 	"semloc/internal/memmodel"
 )
 
-// way is one cache way's metadata.
-type way struct {
-	tag   uint64
-	valid bool
-	// fillTime is the cycle at which the line's data arrives. A line may be
-	// "present" in the tag array while still in flight (fillTime in the
-	// future); a demand access then merges with the outstanding fill.
-	fillTime Cycle
+// wayMeta carries the per-line status bits that demand touches and
+// evictions consult. The timing-critical per-way state (tag, fill time,
+// LRU stamp) lives in the level's flat word arrays instead — see level.
+type wayMeta struct {
 	// prefetched marks lines brought in by a prefetch that have not yet been
 	// touched by a demand access.
 	prefetched bool
@@ -19,8 +15,6 @@ type way struct {
 	everUsed bool
 	// dirty marks lines written since fill (write-back policy).
 	dirty bool
-	// lru is the last-touch stamp for replacement.
-	lru uint64
 }
 
 // LevelStats counts events at one level.
@@ -43,123 +37,158 @@ func (s LevelStats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-// level is one cache level's state.
+// invalidTag marks an empty slot in the packed tag array. Line numbers are
+// block addresses (full addresses shifted right), so no real line reaches
+// the all-ones value.
+const invalidTag = ^uint64(0)
+
+// level is one cache level's state, stored structure-of-arrays: every
+// per-way field the lookup and victim scans read is a flat word array
+// indexed set*Ways+way, so each scan walks one or two contiguous cache
+// lines instead of striding across per-way structs. A way is valid iff its
+// tags slot differs from invalidTag.
 type level struct {
-	cfg      LevelConfig
-	setMask  uint64
-	sets     [][]way
-	lruClock uint64
-	mshr     mshrFile
-	stats    LevelStats
+	cfg     LevelConfig
+	setMask uint64
+	// tags holds each way's line number (invalidTag = empty slot).
+	tags []uint64
+	// fill holds the cycle at which each line's data arrives. A line may be
+	// "present" in the tag array while still in flight (fill in the future);
+	// a demand access then merges with the outstanding fill.
+	fill []Cycle
+	// lru holds each way's last-touch stamp for replacement.
+	lru  []uint64
+	meta []wayMeta
+	// validWays counts valid ways per set, so steady-state victim
+	// selection (every set full — the permanent condition once warm) skips
+	// the tag scan for empty slots entirely.
+	validWays []uint8
+	lruClock  uint64
+	mshr      mshrFile
+	stats     LevelStats
 }
 
 func newLevel(cfg LevelConfig) *level {
 	sets := cfg.Sets()
+	n := sets * cfg.Ways
 	l := &level{
-		cfg:     cfg,
-		setMask: uint64(sets - 1),
-		sets:    make([][]way, sets),
-		mshr:    newMSHRFile(cfg.MSHRs),
+		cfg:       cfg,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, n),
+		fill:      make([]Cycle, n),
+		lru:       make([]uint64, n),
+		meta:      make([]wayMeta, n),
+		validWays: make([]uint8, sets),
+		mshr:      newMSHRFile(cfg.MSHRs),
 	}
-	ways := make([]way, sets*cfg.Ways)
-	for i := range l.sets {
-		l.sets[i] = ways[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	for i := range l.tags {
+		l.tags[i] = invalidTag
 	}
 	l.stats.Name = cfg.Name
 	return l
 }
 
 // reset returns the level to its just-constructed state in place, keeping
-// the way and MSHR storage (the run-scratch pool recycles hierarchies
+// the array and MSHR storage (the run-scratch pool recycles hierarchies
 // across simulation runs).
 func (l *level) reset() {
-	for i := range l.sets {
-		clear(l.sets[i])
+	for i := range l.tags {
+		l.tags[i] = invalidTag
 	}
+	clear(l.fill)
+	clear(l.lru)
+	clear(l.meta)
+	clear(l.validWays)
 	l.lruClock = 0
 	l.mshr.reset()
 	l.stats = LevelStats{Name: l.cfg.Name}
 }
 
-func (l *level) setOf(line memmodel.Line) []way {
-	return l.sets[uint64(line)&l.setMask]
-}
-
-// lookup returns the way holding line, or nil.
-func (l *level) lookup(line memmodel.Line) *way {
-	set := l.setOf(line)
-	tag := uint64(line)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			return &set[i]
+// lookup returns the flat way index holding line, or -1.
+func (l *level) lookup(line memmodel.Line) int {
+	base := int(uint64(line)&l.setMask) * l.cfg.Ways
+	tags := l.tags[base : base+l.cfg.Ways]
+	for i := range tags {
+		if tags[i] == uint64(line) {
+			return base + i
 		}
 	}
-	return nil
+	return -1
 }
 
-// touch updates LRU state.
-func (l *level) touch(w *way) {
+// touch updates LRU state for the way at flat index wi.
+func (l *level) touch(wi int) {
 	l.lruClock++
-	w.lru = l.lruClock
+	l.lru[wi] = l.lruClock
 }
 
-// victim picks the replacement way for line's set: an invalid way if one
-// exists, otherwise the LRU way. Lines still in flight (fillTime beyond now)
-// are protected from replacement when possible, matching MSHR-held fills.
-func (l *level) victim(line memmodel.Line, now Cycle) *way {
-	set := l.setOf(line)
-	var lru *way
-	var lruAny *way
-	for i := range set {
-		w := &set[i]
-		if !w.valid {
-			return w
-		}
-		if lruAny == nil || w.lru < lruAny.lru {
-			lruAny = w
-		}
-		if w.fillTime <= now && (lru == nil || w.lru < lru.lru) {
-			lru = w
+// victim picks the replacement way's flat index in line's set: an invalid
+// way if one exists, otherwise the LRU way. Lines still in flight (fill
+// beyond now) are protected from replacement when possible, matching
+// MSHR-held fills.
+func (l *level) victim(line memmodel.Line, now Cycle) int {
+	set := int(uint64(line) & l.setMask)
+	base := set * l.cfg.Ways
+	end := base + l.cfg.Ways
+	if int(l.validWays[set]) < l.cfg.Ways {
+		for i := base; i < end; i++ {
+			if l.tags[i] == invalidTag {
+				return i
+			}
 		}
 	}
-	if lru == nil {
+	lru, lruAny := -1, -1
+	for i := base; i < end; i++ {
+		if lruAny < 0 || l.lru[i] < l.lru[lruAny] {
+			lruAny = i
+		}
+		if l.fill[i] <= now && (lru < 0 || l.lru[i] < l.lru[lru]) {
+			lru = i
+		}
+	}
+	if lru < 0 {
 		lru = lruAny
 	}
 	return lru
 }
 
 // install places line into the cache, filling at fillTime, evicting as
-// needed. It returns the way installed into. When lruInsert is set the
-// line lands at LRU position instead of MRU (prefetch-conscious
-// insertion).
-// install's victim eviction reports whether a dirty line was displaced so
-// the hierarchy can generate write-back traffic.
-func (l *level) install(line memmodel.Line, now, fillTime Cycle, prefetched, lruInsert bool) (w *way, dirtyEvict bool) {
-	w = l.victim(line, now)
-	if w.valid && w.prefetched && !w.everUsed {
-		l.stats.UselessEvicts++
-	}
-	if w.valid && w.dirty {
-		l.stats.Writebacks++
-		dirtyEvict = true
-	}
-	*w = way{tag: uint64(line), valid: true, fillTime: fillTime, prefetched: prefetched}
-	if lruInsert {
-		w.lru = 0
+// needed. It returns the flat index of the way installed into. When
+// lruInsert is set the line lands at LRU position instead of MRU
+// (prefetch-conscious insertion). The second result reports whether a
+// dirty line was displaced so the hierarchy can generate write-back
+// traffic.
+func (l *level) install(line memmodel.Line, now, fillTime Cycle, prefetched, lruInsert bool) (wi int, dirtyEvict bool) {
+	wi = l.victim(line, now)
+	if l.tags[wi] != invalidTag {
+		m := l.meta[wi]
+		if m.prefetched && !m.everUsed {
+			l.stats.UselessEvicts++
+		}
+		if m.dirty {
+			l.stats.Writebacks++
+			dirtyEvict = true
+		}
 	} else {
-		l.touch(w)
+		l.validWays[uint64(line)&l.setMask]++
 	}
-	return w, dirtyEvict
+	l.tags[wi] = uint64(line)
+	l.fill[wi] = fillTime
+	l.meta[wi] = wayMeta{prefetched: prefetched}
+	if lruInsert {
+		l.lru[wi] = 0
+	} else {
+		l.touch(wi)
+	}
+	return wi, dirtyEvict
 }
 
 // FlushNeverUsed scans for prefetched-but-never-demanded lines still
 // resident at end of simulation and counts them as useless.
 func (l *level) flushNeverUsed() {
-	for _, set := range l.sets {
-		for i := range set {
-			if set[i].valid && set[i].prefetched && !set[i].everUsed {
-				l.stats.UselessEvicts++
-			}
+	for i := range l.tags {
+		if l.tags[i] != invalidTag && l.meta[i].prefetched && !l.meta[i].everUsed {
+			l.stats.UselessEvicts++
 		}
 	}
 }
@@ -167,6 +196,13 @@ func (l *level) flushNeverUsed() {
 // mshrFile models a fixed number of miss-status holding registers. A miss
 // occupies a register until its fill completes; when all registers are busy
 // a new miss waits for the earliest release.
+//
+// busyUntil is kept as an implicit min-heap so acquire (which always wants
+// the earliest-free register) peeks the root instead of scanning the file.
+// Registers are interchangeable — only the multiset of release times is
+// observable (acquire's start is its minimum, free counts it) — so heap
+// order, which permutes register indexes relative to the old linear scan,
+// cannot change any result.
 type mshrFile struct {
 	busyUntil []Cycle
 }
@@ -175,31 +211,43 @@ func newMSHRFile(n int) mshrFile {
 	return mshrFile{busyUntil: make([]Cycle, n)}
 }
 
-// reset frees every register in place.
+// reset frees every register in place (all-zero is a valid heap).
 func (m *mshrFile) reset() {
 	clear(m.busyUntil)
 }
 
-// acquire reserves a register for a miss issued at time t that will need
-// the register until complete(start) returns its completion time. It
-// returns the actual start time (>= t; delayed if all registers are busy)
-// and a function to call with the completion time.
+// acquire reserves a register for a miss issued at time t. It returns the
+// actual start time (>= t; delayed if all registers are busy) and the
+// register index, which the caller must hand back to hold along with the
+// fill's completion time before the next acquire.
 func (m *mshrFile) acquire(t Cycle) (start Cycle, idx int) {
-	best := 0
-	for i := 1; i < len(m.busyUntil); i++ {
-		if m.busyUntil[i] < m.busyUntil[best] {
-			best = i
-		}
-	}
 	start = t
-	if m.busyUntil[best] > t {
-		start = m.busyUntil[best]
+	if b := m.busyUntil[0]; b > t {
+		start = b
 	}
-	return start, best
+	return start, 0
 }
 
+// hold marks the register acquire returned busy until the given time and
+// restores the heap. until never precedes the popped minimum, so a
+// sift-down from idx suffices.
 func (m *mshrFile) hold(idx int, until Cycle) {
-	m.busyUntil[idx] = until
+	b := m.busyUntil
+	for {
+		c := 2*idx + 1
+		if c >= len(b) {
+			break
+		}
+		if r := c + 1; r < len(b) && b[r] < b[c] {
+			c = r
+		}
+		if b[c] >= until {
+			break
+		}
+		b[idx] = b[c]
+		idx = c
+	}
+	b[idx] = until
 }
 
 // free counts registers free at time t.

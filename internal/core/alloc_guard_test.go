@@ -8,24 +8,32 @@ import (
 
 // TestOnAccessZeroAllocTelemetryDisabled is the in-tree half of the
 // overhead contract (DESIGN.md §11): with no collector attached, the
-// instrumented OnAccess path must not allocate. The Makefile's
+// instrumented OnAccess path must not allocate — under every exploration
+// policy, not just ε-greedy (softmax once broke this with a per-decision
+// weights slice; its weights now live in bandit scratch). The Makefile's
 // overhead-guard target enforces the same invariant via the benchmark
 // (plus a ns/op ceiling); this test makes `go test ./...` catch an
 // allocation regression without running benchmarks. Race builds are
 // excluded: the detector's instrumentation perturbs allocation counts.
 func TestOnAccessZeroAllocTelemetryDisabled(t *testing.T) {
-	p := MustNew(DefaultConfig())
-	iss := &benchIssuer{free: 4}
-	stream := benchStream(4096)
-	for i := range stream {
-		p.OnAccess(&stream[i], iss)
-	}
-	i := 0
-	allocs := testing.AllocsPerRun(2000, func() {
-		p.OnAccess(&stream[i%len(stream)], iss)
-		i++
-	})
-	if allocs != 0 {
-		t.Fatalf("OnAccess with telemetry disabled allocates %.2f allocs/op, want 0", allocs)
+	for _, kind := range []PolicyKind{PolicyEpsilonGreedy, PolicySoftmax, PolicyUCB} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Policy = kind
+			p := MustNew(cfg)
+			iss := &benchIssuer{free: 4}
+			stream := benchStream(4096)
+			for i := range stream {
+				p.OnAccess(&stream[i], iss)
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(2000, func() {
+				p.OnAccess(&stream[i%len(stream)], iss)
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("OnAccess (%v, telemetry disabled) allocates %.2f allocs/op, want 0", kind, allocs)
+			}
+		})
 	}
 }

@@ -136,19 +136,55 @@ func (m *machineState) update(a *prefetch.Access, blockShift uint) {
 	}
 }
 
+// hashSeed starts every context hash.
+const hashSeed = uint64(0x9e3779b97f4a7c15)
+
+// foldAttr mixes one attribute value into a running context hash.
+func foldAttr(h uint64, id AttrID, val uint64) uint64 {
+	h ^= uint64(id+1) * 0xff51afd7ed558ccd
+	h ^= val
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
 // hashContext mixes the active attributes of v into a 64-bit hash. The
 // caller truncates to the width it needs (16 bits for the reducer index,
 // 19 bits for the CST index).
 func hashContext(v *contextVector, active AttrSet) uint64 {
-	h := uint64(0x9e3779b97f4a7c15)
+	h := hashSeed
 	for id := AttrID(0); id < NumAttrs; id++ {
 		if !active.Has(id) {
 			continue
 		}
-		h ^= uint64(id+1) * 0xff51afd7ed558ccd
-		h ^= v[id]
-		h *= 0xc4ceb9fe1a85ec53
-		h ^= h >> 33
+		h = foldAttr(h, id, v[id])
+	}
+	return h
+}
+
+// hashDefaultPrefix folds the always-active default attributes (Table 1's
+// load site plus the three compiler hints). Every attribute set the
+// prefetcher hashes on the hot path — FullAttrSet and every reducer-held
+// active set — contains DefaultAttrSet, and hashContext folds attributes
+// in ascending id order, so this prefix is shared verbatim between the
+// full-context hash and the reduced-context hash: OnAccess computes it
+// once and extends it twice (DESIGN.md §15).
+func hashDefaultPrefix(v *contextVector) uint64 {
+	h := foldAttr(hashSeed, AttrPC, v[AttrPC])
+	h = foldAttr(h, AttrTypeID, v[AttrTypeID])
+	h = foldAttr(h, AttrLinkOffset, v[AttrLinkOffset])
+	return foldAttr(h, AttrRefForm, v[AttrRefForm])
+}
+
+// hashExtend folds the activatable high attributes of `active` (those
+// beyond the default set) onto a default-prefix hash. For any set
+// containing DefaultAttrSet, hashExtend(hashDefaultPrefix(v), v, set) ==
+// hashContext(v, set).
+func hashExtend(h uint64, v *contextVector, active AttrSet) uint64 {
+	for id := AttrBranchHist; id < NumAttrs; id++ {
+		if active.Has(id) {
+			h = foldAttr(h, id, v[id])
+		}
 	}
 	return h
 }

@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // bandit holds the exploration/exploitation policy state: an ε-greedy rule
 // whose exploration rate adapts to prediction accuracy (§4.1, following
 // Tokic's value-difference-based adaptation — exploration decays as the
@@ -13,6 +15,10 @@ type bandit struct {
 	// rate in [0,1].
 	accuracy float64
 	rng      uint64
+	// weights is the softmax scratch buffer, sized for the widest legal
+	// entry: no policy may allocate per decision (alloc_guard_test.go pins
+	// all three).
+	weights [maxLinks]float64
 }
 
 func newBandit(epsilon float64, adaptive bool, seed uint64) *bandit {
@@ -41,6 +47,19 @@ func (b *bandit) explore() bool {
 // pick returns a uniformly random element of xs (xs must be non-empty).
 func (b *bandit) pick(xs []int) int {
 	return xs[b.next()%uint64(len(xs))]
+}
+
+// pickSlot returns a uniformly random used link slot of e (e must hold at
+// least one candidate). It consumes one RNG draw and selects the k-th used
+// slot in ascending order — exactly pick() over the entry's candidate
+// list, without materializing it.
+func (b *bandit) pickSlot(e *cstEntry) int {
+	k := b.next() % uint64(e.n)
+	m := e.used
+	for ; k > 0; k-- {
+		m &= m - 1
+	}
+	return bits.TrailingZeros8(m)
 }
 
 const accuracyGain = 1.0 / 256

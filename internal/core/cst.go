@@ -1,51 +1,79 @@
 package core
 
+import "math/bits"
+
+// maxLinks bounds CSTLinks (Config.Validate enforces 1..8), so a link-slot
+// bitmask fits one byte and the per-entry rank order fits a fixed array.
+const maxLinks = 8
+
 // cst is the context-states table (§5): a direct-mapped table keyed by the
 // reduced-context hash. Each entry stores up to CSTLinks candidate deltas
 // (block granularity, one signed byte each — able to point ±8 kB at 64 B
 // blocks) with a signed score updated by the reward function. Replacement
 // within an entry is score-based: new candidates evict the lowest-scoring
 // link, which the positive rewards of recurring associations protect.
+//
+// Layout (DESIGN.md §15): the (delta, score) pairs of every entry are
+// flattened into parallel fixed-size byte arrays inline in the entry
+// rather than per-link structs behind a slice header, so a whole entry —
+// tag, occupancy mask, rank order and all candidate bytes — is exactly 32
+// bytes: the decide path reads one cache line per context instead of
+// chasing padded structs. Each entry additionally maintains its
+// exploitation rank (`order`) incrementally, so prediction walks a
+// precomputed best-first sequence instead of rescanning scores per issued
+// prefetch.
 type cst struct {
 	entries []cstEntry
 	links   int
 	bits    uint
 }
 
-// cstKey identifies a CST entry occupancy: index plus tag.
+// cstKey identifies a CST entry occupancy: index plus tag. The index is
+// an int32 so the key packs into eight bytes — it rides in every history
+// and prefetch-queue entry, and those rings are copied on the hot path.
 type cstKey struct {
-	idx int
+	idx int32
 	tag uint8
 }
 
 type cstEntry struct {
 	tag   uint8
 	valid bool
-	// trials counts predictions made from this entry (UCB's time horizon).
-	trials uint16
+	// used is the bitmask of occupied link slots; n caches its popcount.
+	used uint8
+	n    uint8
 	// churn counts candidate replacements since the last decay; a high
 	// churn means many distinct addresses compete for this reduced context
 	// (context overload, §4.4).
 	churn uint8
-	links []link
-}
-
-type link struct {
-	delta int8
-	score int8
-	used  bool
+	// links is the configured CSTLinks bound (≤ maxLinks): the arrays
+	// below are sized for the maximum, occupancy is capped here.
+	links uint8
+	// trials counts predictions made from this entry (UCB's time horizon).
+	trials uint16
+	// order[:n] holds the occupied slot indexes sorted by
+	// (score descending, slot ascending) — the exploitation rank the
+	// prediction unit walks. It is derived state: reward and addCandidate
+	// maintain it in place, and restore rebuilds it from the scores.
+	order [maxLinks]uint8
+	// deltas and scores are the flattened candidate slots, parallel by
+	// index; only [:links] are ever occupied.
+	deltas [maxLinks]int8
+	scores [maxLinks]int8
 }
 
 func newCST(entries, links int) *cst {
-	c := &cst{entries: make([]cstEntry, entries), links: links}
+	c := &cst{
+		entries: make([]cstEntry, entries),
+		links:   links,
+	}
 	n := entries
 	for n > 1 {
 		n >>= 1
 		c.bits++
 	}
-	all := make([]link, entries*links)
 	for i := range c.entries {
-		c.entries[i].links = all[i*links : (i+1)*links : (i+1)*links]
+		c.entries[i].links = uint8(links)
 	}
 	return c
 }
@@ -57,7 +85,7 @@ func (c *cst) key(reducedHash uint64) cstKey {
 	// mid-range, so weak raw hashes still spread and tag well.
 	mixed := reducedHash * 0x9e3779b97f4a7c15
 	mixed ^= mixed >> 29
-	idx := int(mixed >> (64 - c.bits))
+	idx := int32(mixed >> (64 - c.bits))
 	tag := uint8(mixed >> 24)
 	return cstKey{idx: idx, tag: tag}
 }
@@ -83,10 +111,83 @@ func (c *cst) ensure(k cstKey) (*cstEntry, bool) {
 	e.valid = true
 	e.churn = 0
 	e.trials = 0
-	for i := range e.links {
-		e.links[i] = link{}
-	}
+	e.used = 0
+	e.n = 0
+	e.deltas = [maxLinks]int8{}
+	e.scores = [maxLinks]int8{}
 	return e, false
+}
+
+// isUsed reports whether link slot i holds a candidate.
+func (e *cstEntry) isUsed(i int) bool { return e.used&(1<<uint(i)) != 0 }
+
+// ranksBefore reports whether slot a precedes slot b in the exploitation
+// rank: higher score first, lower slot index breaking ties (the order the
+// old per-prediction rescan produced, kept so results stay bit-identical).
+func (e *cstEntry) ranksBefore(a, b uint8) bool {
+	return e.scores[a] > e.scores[b] || (e.scores[a] == e.scores[b] && a < b)
+}
+
+// insertIntoOrder places slot (whose used bit and score are already set,
+// and which is counted in n) into the rank order.
+func (e *cstEntry) insertIntoOrder(slot uint8) {
+	j := int(e.n) - 1 // order[:n-1] holds the existing ranked slots
+	for j > 0 && !e.ranksBefore(e.order[j-1], slot) {
+		e.order[j] = e.order[j-1]
+		j--
+	}
+	e.order[j] = slot
+}
+
+// removeFromOrder drops slot from the rank order; n still counts it.
+func (e *cstEntry) removeFromOrder(slot uint8) {
+	n := int(e.n)
+	j := 0
+	for j < n && e.order[j] != slot {
+		j++
+	}
+	copy(e.order[j:n-1], e.order[j+1:n])
+}
+
+// reposition restores the rank invariant after slot's score changed,
+// bubbling it toward the front or back as needed. Reward deltas are small,
+// so this almost always terminates after zero or one swap.
+func (e *cstEntry) reposition(slot uint8) {
+	n := int(e.n)
+	j := 0
+	for e.order[j] != slot {
+		j++
+	}
+	for j > 0 && !e.ranksBefore(e.order[j-1], slot) {
+		e.order[j] = e.order[j-1]
+		j--
+		e.order[j] = slot
+	}
+	for j+1 < n && !e.ranksBefore(slot, e.order[j+1]) {
+		e.order[j] = e.order[j+1]
+		j++
+		e.order[j] = slot
+	}
+}
+
+// rebuildOrder recomputes n and the rank order from used/scores (restore
+// path and test helpers; the hot path maintains both incrementally).
+func (e *cstEntry) rebuildOrder() {
+	e.n = uint8(bits.OnesCount8(e.used))
+	k := 0
+	for i := 0; i < int(e.links); i++ {
+		if !e.isUsed(i) {
+			continue
+		}
+		slot := uint8(i)
+		j := k
+		for j > 0 && !e.ranksBefore(e.order[j-1], slot) {
+			e.order[j] = e.order[j-1]
+			j--
+		}
+		e.order[j] = slot
+		k++
+	}
 }
 
 // addCandidate records that `delta` followed this context, inserting it as
@@ -98,66 +199,87 @@ func (c *cst) ensure(k cstKey) (*cstEntry, bool) {
 // evicted (score-based replacement, §5).
 func (e *cstEntry) addCandidate(delta int8, allowReplace bool) {
 	worst := 0
-	for i := range e.links {
-		l := &e.links[i]
-		if l.used && l.delta == delta {
-			return // already a candidate; scores move only via rewards
-		}
-		if !l.used {
+	for i := 0; i < int(e.links); i++ {
+		if !e.isUsed(i) {
 			worst = i
 			break
 		}
-		if e.links[i].score < e.links[worst].score {
+		if e.deltas[i] == delta {
+			return // already a candidate; scores move only via rewards
+		}
+		if e.scores[i] < e.scores[worst] {
 			worst = i
 		}
 	}
-	w := &e.links[worst]
-	if w.used && (w.score > 0 || !allowReplace) {
+	wUsed := e.isUsed(worst)
+	if wUsed && (e.scores[worst] > 0 || !allowReplace) {
 		// Protected (by accumulated positive reward, or by replacement
 		// hysteresis); the candidate is dropped but the contention is
 		// recorded as churn (overload signal).
 		e.noteChurn()
 		return
 	}
-	if w.used {
+	if wUsed {
 		e.noteChurn()
+		e.removeFromOrder(uint8(worst))
+	} else {
+		e.used |= 1 << uint(worst)
+		e.n++
 	}
-	*w = link{delta: delta, score: 0, used: true}
+	e.deltas[worst] = delta
+	e.scores[worst] = 0
+	e.insertIntoOrder(uint8(worst))
 }
 
 // best returns the index of the highest-scoring link, or -1 if none.
 func (e *cstEntry) best() int {
-	best := -1
-	for i := range e.links {
-		if !e.links[i].used {
-			continue
-		}
-		if best < 0 || e.links[i].score > e.links[best].score {
-			best = i
-		}
+	if e.n == 0 {
+		return -1
 	}
-	return best
+	return int(e.order[0])
 }
 
 // candidates returns the indices of all used links.
 func (e *cstEntry) candidates(buf []int) []int {
 	buf = buf[:0]
-	for i := range e.links {
-		if e.links[i].used {
-			buf = append(buf, i)
-		}
+	for m := e.used; m != 0; m &= m - 1 {
+		buf = append(buf, bits.TrailingZeros8(m))
 	}
 	return buf
 }
 
-// reward adjusts the score of the link holding delta.
+// reward adjusts the score of the link holding delta and repositions it in
+// the rank order.
 func (e *cstEntry) reward(delta int8, amount int8) {
-	for i := range e.links {
-		if e.links[i].used && e.links[i].delta == delta {
-			e.links[i].score = saturatingAdd(e.links[i].score, amount)
-			return
+	for m := e.used; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros8(m)
+		if e.deltas[i] != delta {
+			continue
 		}
+		s := saturatingAdd(e.scores[i], amount)
+		if s != e.scores[i] {
+			e.scores[i] = s
+			e.reposition(uint8(i))
+		}
+		return
 	}
+}
+
+// rewardSlot is reward with a memoized link slot: the prefetch queue
+// records which slot produced each prediction, so the common case skips
+// the link scan. The slot is only a hint — if the link was evicted (and
+// possibly the same delta re-inserted elsewhere) between prediction and
+// feedback, fall back to the scan so the outcome matches reward exactly.
+func (e *cstEntry) rewardSlot(slot uint8, delta int8, amount int8) {
+	if slot < e.links && e.used&(1<<slot) != 0 && e.deltas[slot] == delta {
+		s := saturatingAdd(e.scores[slot], amount)
+		if s != e.scores[slot] {
+			e.scores[slot] = s
+			e.reposition(slot)
+		}
+		return
+	}
+	e.reward(delta, amount)
 }
 
 // noteTrial counts one prediction round (saturating).
@@ -182,12 +304,8 @@ func (e *cstEntry) overloaded(threshold uint8) bool {
 	if e.churn < threshold {
 		return false
 	}
-	for i := range e.links {
-		if e.links[i].used && e.links[i].score > 0 {
-			return false
-		}
-	}
-	return true
+	// order[0] ranks first: any positive-scored link would be there.
+	return e.n == 0 || e.scores[e.order[0]] <= 0
 }
 
 // decayChurn halves the churn counter (called periodically so the overload

@@ -42,23 +42,21 @@ func (p *Prefetcher) Inspect() TableStats {
 		if !e.valid {
 			continue
 		}
-		used := 0
-		for _, l := range e.links {
-			if !l.used {
+		for li := 0; li < int(e.links); li++ {
+			if !e.isUsed(li) {
 				continue
 			}
-			used++
 			st.Links++
-			scoreSum += int(l.score)
-			if l.score > 0 {
+			scoreSum += int(e.scores[li])
+			if e.scores[li] > 0 {
 				st.PositiveLinks++
 			}
-			if l.score == 127 {
+			if e.scores[li] == 127 {
 				st.SaturatedLinks++
 			}
-			deltas[l.delta]++
+			deltas[e.deltas[li]]++
 		}
-		if used > 0 {
+		if e.n > 0 {
 			st.Entries++
 		}
 	}
@@ -73,7 +71,11 @@ func (p *Prefetcher) Inspect() TableStats {
 	for d, c := range deltas {
 		all = append(all, dc{d, c})
 	}
-	sort.Slice(all, func(i, j int) bool {
+	// SliceStable with a total-order comparator (count descending, delta
+	// ascending breaking ties): equal-count deltas rank identically from
+	// run to run regardless of map iteration order, so golden comparisons
+	// of TopDeltas never flake.
+	sort.SliceStable(all, func(i, j int) bool {
 		if all[i].c != all[j].c {
 			return all[i].c > all[j].c
 		}
@@ -94,13 +96,7 @@ func (p *Prefetcher) DumpCST(w io.Writer, limit int) {
 		if !e.valid {
 			continue
 		}
-		used := 0
-		for _, l := range e.links {
-			if l.used {
-				used++
-			}
-		}
-		if used == 0 {
+		if e.n == 0 {
 			continue
 		}
 		n++
@@ -108,9 +104,9 @@ func (p *Prefetcher) DumpCST(w io.Writer, limit int) {
 			continue
 		}
 		fmt.Fprintf(w, "  entry idx=%d tag=%d churn=%d trials=%d links=", i, e.tag, e.churn, e.trials)
-		for _, l := range e.links {
-			if l.used {
-				fmt.Fprintf(w, "(%+d:%+d) ", l.delta, l.score)
+		for li := 0; li < int(e.links); li++ {
+			if e.isUsed(li) {
+				fmt.Fprintf(w, "(%+d:%+d) ", e.deltas[li], e.scores[li])
 			}
 		}
 		fmt.Fprintln(w)

@@ -62,14 +62,30 @@ func TestDumpCST(t *testing.T) {
 	}
 }
 
+// link is the test-side view of one CST slot; production state lives in
+// the flattened arenas (cst.go), so edge-case shapes are planted through
+// this helper struct.
+type link struct {
+	delta int8
+	score int8
+	used  bool
+}
+
 // plant installs a valid CST entry at idx with the given links, bypassing
 // the learning path so edge-case table shapes are exact.
 func plant(p *Prefetcher, idx int, links ...link) {
 	e := &p.table.entries[idx]
 	e.valid = true
 	e.tag = uint8(idx)
-	e.links = e.links[:0]
-	e.links = append(e.links, links...)
+	e.used = 0
+	for li, l := range links {
+		e.deltas[li] = l.delta
+		e.scores[li] = l.score
+		if l.used {
+			e.used |= 1 << uint(li)
+		}
+	}
+	e.rebuildOrder()
 }
 
 func TestInspectSaturatedLinks(t *testing.T) {
@@ -128,6 +144,34 @@ func TestTopDeltasTieBreaking(t *testing.T) {
 	for i := range want {
 		if st.TopDeltas[i] != want[i] {
 			t.Fatalf("TopDeltas[%d] = %+v, want %+v", i, st.TopDeltas[i], want[i])
+		}
+	}
+}
+
+// TestTopDeltasTieStability hammers the tie-break with a table where every
+// delta has the same count: the map feeding the sort iterates in random
+// order per run, so only a deterministic comparator keeps repeated Inspect
+// calls identical.
+func TestTopDeltasTieStability(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	deltas := []int8{44, -7, 19, 3, -120, 88, -1, 25, 6, -60, 101, -33}
+	for i, d := range deltas {
+		plant(p, i, link{delta: d, score: 1, used: true})
+	}
+	first := p.Inspect().TopDeltas
+	for run := 0; run < 20; run++ {
+		got := p.Inspect().TopDeltas
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("run %d: TopDeltas[%d] = %+v, want %+v (unstable tie-break)",
+					run, i, got[i], first[i])
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Count == first[i].Count && first[i-1].Delta >= first[i].Delta {
+			t.Fatalf("tie at count %d not broken by ascending delta: %+v before %+v",
+				first[i].Count, first[i-1], first[i])
 		}
 	}
 }

@@ -30,7 +30,8 @@ type prefetchQueue struct {
 type pfEntry struct {
 	block  int64 // predicted block number
 	key    cstKey
-	delta  int8 // CST link that produced the prediction
+	delta  int8  // CST link that produced the prediction
+	slot   uint8 // link slot hint for slot-memoized feedback (see rewardSlot)
 	index  uint64
 	issued bool // real prefetch (false = shadow)
 	hit    bool // consumed by a demand access
@@ -64,9 +65,9 @@ func (q *prefetchQueue) bucket(block int64) *int32 {
 }
 
 // link inserts slot i into its block's bucket chain, keeping the chain in
-// ascending slot order (the old full-scan match order).
-func (q *prefetchQueue) link(i int32) {
-	b := q.bucket(q.entries[i].block)
+// ascending slot order (the old full-scan match order). b must be the
+// chain head of the entry's block (the callers have it in hand already).
+func (q *prefetchQueue) link(b *int32, i int32) {
 	if *b == nilIdx || *b > i {
 		q.entries[i].next = *b
 		*b = i
@@ -97,31 +98,49 @@ func (q *prefetchQueue) unlink(i int32) {
 	q.entries[i].next = nilIdx
 }
 
-// push appends a prediction, returning the expired entry it displaced (if
-// that entry was live and never hit) so the caller can apply the expiry
-// penalty.
-func (q *prefetchQueue) push(e pfEntry) (expired pfEntry, hasExpired bool) {
+// push appends a prediction built from the given fields (hit=false,
+// live=true), returning the identity of the expired entry it displaced —
+// if that entry was live and never hit — so the caller can apply the
+// expiry penalty. Field arguments rather than a pfEntry value keep the
+// call boundary in registers: this runs once per prediction, and the
+// struct would be copied twice per call.
+func (q *prefetchQueue) push(block int64, key cstKey, delta int8, slot uint8, index uint64, issued bool) (exp expired, hasExpired bool) {
+	return q.pushAt(q.bucket(block), block, key, delta, slot, index, issued)
+}
+
+// expired identifies a displaced live-unhit prediction so the caller can
+// apply the expiry penalty.
+type expired struct {
+	key    cstKey
+	delta  int8
+	slot   uint8
+	issued bool
+}
+
+// pushAt is push with the block's bucket chain head already in hand —
+// enqueue computes it once and shares it between the duplicate check and
+// the push (the bucket load is a random access, worth not repeating).
+func (q *prefetchQueue) pushAt(b *int32, block int64, key cstKey, delta int8, slot uint8, index uint64, issued bool) (exp expired, hasExpired bool) {
 	h := int32(q.head)
-	old := q.entries[h]
-	if old.live && !old.hit {
+	old := &q.entries[h]
+	wasLive := old.live && !old.hit
+	if wasLive {
 		q.unlink(h)
+		exp = expired{key: old.key, delta: old.delta, slot: old.slot, issued: old.issued}
 	}
-	q.entries[h] = e
-	q.entries[h].next = nilIdx
-	q.link(h)
+	*old = pfEntry{block: block, key: key, delta: delta, slot: slot, index: index, issued: issued, live: true, next: nilIdx}
+	q.link(b, h)
 	q.head++
 	if q.head == len(q.entries) {
 		q.head = 0
 	}
 	if q.size < len(q.entries) {
+		// The ring was not yet full, so the displaced slot was never a live
+		// prediction.
 		q.size++
-		return pfEntry{}, false
+		return expired{}, false
 	}
-	if old.live && !old.hit {
-		old.next = nilIdx
-		return old, true
-	}
-	return pfEntry{}, false
+	return exp, wasLive
 }
 
 // match invokes fn for every live, unhit entry predicting `block`, marking
@@ -154,7 +173,12 @@ func (q *prefetchQueue) match(block int64, nowIndex uint64, fn func(e *pfEntry, 
 // contains reports whether a live, unhit entry predicts block, and whether
 // any such entry was actually issued to memory.
 func (q *prefetchQueue) contains(block int64) (predicted, issued bool) {
-	for i := *q.bucket(block); i != nilIdx; i = q.entries[i].next {
+	return q.containsAt(q.bucket(block), block)
+}
+
+// containsAt is contains with the block's bucket chain head already in hand.
+func (q *prefetchQueue) containsAt(b *int32, block int64) (predicted, issued bool) {
+	for i := *b; i != nilIdx; i = q.entries[i].next {
 		e := &q.entries[i]
 		if e.block == block {
 			predicted = true

@@ -85,11 +85,9 @@ func TestPrefetchQueueDifferential(t *testing.T) {
 					issued: rng.Intn(2) == 0,
 					live:   true,
 				}
-				exp1, has1 := q.push(e)
+				exp1, has1 := q.push(e.block, e.key, e.delta, e.slot, e.index, e.issued)
 				exp2, has2 := ref.push(e)
-				exp1.next = 0 // the reference has no chain field
-				exp2.next = 0
-				if has1 != has2 || exp1 != exp2 {
+				if has1 != has2 || exp1.key != exp2.key || exp1.delta != exp2.delta || exp1.slot != exp2.slot || exp1.issued != exp2.issued {
 					t.Fatalf("depth %d op %d: push expiry diverged: %+v/%v vs %+v/%v",
 						depth, op, exp1, has1, exp2, has2)
 				}
@@ -124,14 +122,14 @@ func TestPrefetchQueueDifferential(t *testing.T) {
 // block predicted before reset must not match after it.
 func TestPrefetchQueueResetClearsIndex(t *testing.T) {
 	q := newPrefetchQueue(4)
-	q.push(pfEntry{block: 7, live: true})
+	q.push(7, cstKey{}, 0, 0, 0, false)
 	q.reset()
 	if pred, _ := q.contains(7); pred {
 		t.Error("contains found an entry after reset")
 	}
 	q.match(7, 1, func(*pfEntry, int) { t.Error("match fired after reset") })
 	// The queue must be fully usable after reset.
-	q.push(pfEntry{block: 9, live: true, issued: true})
+	q.push(9, cstKey{}, 0, 0, 0, true)
 	if pred, issued := q.contains(9); !pred || !issued {
 		t.Error("queue unusable after reset")
 	}
@@ -149,7 +147,7 @@ func TestHitDepthBeyondQueueDepthClamps(t *testing.T) {
 
 	// One prediction at access index 0; the queue then sits sparsely filled
 	// while 5*depth accesses pass with no further pushes.
-	q.push(pfEntry{block: 42, index: 0, live: true})
+	q.push(42, cstKey{}, 0, 0, 0, false)
 	now := uint64(5 * depth)
 
 	matched := 0

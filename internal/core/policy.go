@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // PolicyKind selects the exploration/exploitation strategy used by the
@@ -55,19 +56,19 @@ func ParsePolicy(name string) (PolicyKind, error) {
 
 // exploreChoice selects the exploration candidate for the current entry
 // according to the configured policy, or returns -1 when the policy
-// decides not to explore this access. cands holds link indices; the entry
-// provides their scores.
-func (b *bandit) exploreChoice(kind PolicyKind, entry *cstEntry, cands []int) int {
+// decides not to explore this access. The entry must hold at least one
+// candidate; the returned value is a link slot index.
+func (b *bandit) exploreChoice(kind PolicyKind, entry *cstEntry) int {
 	switch kind {
 	case PolicySoftmax:
-		return b.softmaxPick(entry, cands)
+		return b.softmaxPick(entry)
 	case PolicyUCB:
-		return b.ucbPick(entry, cands)
+		return b.ucbPick(entry)
 	default:
 		if !b.explore() {
 			return -1
 		}
-		return b.pick(cands)
+		return b.pickSlot(entry)
 	}
 }
 
@@ -78,40 +79,54 @@ const softmaxTemperature = 24.0
 // softmaxPick samples a candidate with Boltzmann probabilities over
 // scores. The policy still honours the adaptive ε as an overall
 // exploration gate so converged predictors stop spending shadow slots.
-func (b *bandit) softmaxPick(entry *cstEntry, cands []int) int {
+// Weights go into the bandit's scratch buffer: the hot path allocates
+// nothing per decision.
+func (b *bandit) softmaxPick(entry *cstEntry) int {
 	if !b.explore() {
 		return -1
 	}
 	var sum float64
-	weights := make([]float64, len(cands))
-	for i, li := range cands {
-		w := math.Exp(float64(entry.links[li].score) / softmaxTemperature)
-		weights[i] = w
+	n := 0
+	for m := entry.used; m != 0; m &= m - 1 {
+		w := math.Exp(float64(entry.scores[bits.TrailingZeros8(m)]) / softmaxTemperature)
+		b.weights[n] = w
 		sum += w
+		n++
 	}
 	target := b.float() * sum
-	for i, w := range weights {
-		target -= w
+	m := entry.used
+	for i := 0; i < n; i++ {
+		target -= b.weights[i]
 		if target <= 0 {
-			return cands[i]
+			return bits.TrailingZeros8(m)
 		}
+		m &= m - 1
 	}
-	return cands[len(cands)-1]
+	// Rounding fallthrough: the last candidate (highest used slot).
+	return 7 - bits.LeadingZeros8(entry.used)
 }
 
 // ucbPick deterministically explores the candidate with the highest
 // score-plus-uncertainty bonus. Trial counts are approximated by the
 // (saturating) magnitude of accumulated feedback: links that have seen
 // little feedback keep a large bonus.
-func (b *bandit) ucbPick(entry *cstEntry, cands []int) int {
+//
+// Exact value ties break toward the smaller delta (and, for planted
+// duplicate deltas, the lower slot). The tie-break is defined on the
+// candidate's value, never its slot position, so which link an eviction
+// happened to place first cannot steer exploration: UCB runs are
+// reproducible for a given learned state regardless of insertion order.
+func (b *bandit) ucbPick(entry *cstEntry) int {
 	best, bestV := -1, math.Inf(-1)
-	for _, li := range cands {
-		l := entry.links[li]
+	var bestDelta int8
+	for m := entry.used; m != 0; m &= m - 1 {
+		li := bits.TrailingZeros8(m)
+		score := entry.scores[li]
 		// |score| grows with feedback volume; the bonus shrinks with it.
-		trials := 1 + math.Abs(float64(l.score))
-		v := float64(l.score) + ucbC*math.Sqrt(math.Log(float64(1+entry.trials))/trials)
-		if v > bestV {
-			best, bestV = li, v
+		trials := 1 + math.Abs(float64(score))
+		v := float64(score) + ucbC*math.Sqrt(math.Log(float64(1+entry.trials))/trials)
+		if v > bestV || (v == bestV && entry.deltas[li] < bestDelta) {
+			best, bestV, bestDelta = li, v, entry.deltas[li]
 		}
 	}
 	return best

@@ -60,7 +60,7 @@ func TestSoftmaxPrefersHighScores(t *testing.T) {
 	b := newBandit(1.0, false, 7) // always explore: isolate the weighting
 	counts := map[int]int{}
 	for i := 0; i < 5000; i++ {
-		li := b.exploreChoice(PolicySoftmax, e, cands)
+		li := b.exploreChoice(PolicySoftmax, e)
 		if li < 0 {
 			t.Fatal("softmax with epsilon 1 must always pick")
 		}
@@ -76,10 +76,10 @@ func TestSoftmaxPrefersHighScores(t *testing.T) {
 }
 
 func TestSoftmaxHonoursEpsilonGate(t *testing.T) {
-	e, cands := policyEntry(10, 20)
+	e, _ := policyEntry(10, 20)
 	b := newBandit(0, false, 7)
 	for i := 0; i < 100; i++ {
-		if b.exploreChoice(PolicySoftmax, e, cands) >= 0 {
+		if b.exploreChoice(PolicySoftmax, e) >= 0 {
 			t.Fatal("epsilon 0 must suppress softmax exploration")
 		}
 	}
@@ -91,25 +91,48 @@ func TestUCBPrefersUntriedCandidates(t *testing.T) {
 	e, cands := policyEntry(20, 0)
 	e.trials = 10000
 	b := newBandit(0.05, false, 7)
-	li := b.exploreChoice(PolicyUCB, e, cands)
+	li := b.exploreChoice(PolicyUCB, e)
 	if li != cands[1] {
 		t.Errorf("UCB should explore the untried candidate, picked link %d", li)
 	}
 	// Once the fresh link accumulates negative evidence, the strong link
 	// dominates.
 	e.reward(2, -120)
-	li = b.exploreChoice(PolicyUCB, e, cands)
+	li = b.exploreChoice(PolicyUCB, e)
 	if li != cands[0] {
 		t.Errorf("UCB should settle on the high-score candidate, picked %d", li)
 	}
 }
 
+// TestUCBTieBreakDeterministic pins the tie rule: on exactly equal UCB
+// values the smaller delta wins, whatever slot order eviction history left
+// the candidates in. Two entries holding the same (delta, score) pairs in
+// opposite slot orders must explore the same delta.
+func TestUCBTieBreakDeterministic(t *testing.T) {
+	b := newBandit(0.05, false, 7)
+	forward, backward := MustNew(DefaultConfig()), MustNew(DefaultConfig())
+	plant(forward, 0,
+		link{delta: -4, score: 10, used: true},
+		link{delta: 6, score: 10, used: true})
+	plant(backward, 0,
+		link{delta: 6, score: 10, used: true},
+		link{delta: -4, score: 10, used: true})
+	ef, eb := &forward.table.entries[0], &backward.table.entries[0]
+	ef.trials, eb.trials = 100, 100
+	lf := b.exploreChoice(PolicyUCB, ef)
+	lb := b.exploreChoice(PolicyUCB, eb)
+	if ef.deltas[lf] != -4 || eb.deltas[lb] != -4 {
+		t.Errorf("tied UCB values must break toward the smaller delta: got %d and %d",
+			ef.deltas[lf], eb.deltas[lb])
+	}
+}
+
 func TestEpsilonGreedyChoiceDistribution(t *testing.T) {
-	e, cands := policyEntry(50, 40, 30)
+	e, _ := policyEntry(50, 40, 30)
 	b := newBandit(1.0, false, 11)
 	seen := map[int]bool{}
 	for i := 0; i < 1000; i++ {
-		li := b.exploreChoice(PolicyEpsilonGreedy, e, cands)
+		li := b.exploreChoice(PolicyEpsilonGreedy, e)
 		if li < 0 {
 			t.Fatal("epsilon 1 must always explore")
 		}

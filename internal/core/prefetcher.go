@@ -54,7 +54,11 @@ type Prefetcher struct {
 	machine machineState
 	index   uint64 // demand access counter
 	metrics Metrics
-	candBuf []int
+	// rewardTab memoizes cfg.Reward.Reward(depth) for depths up to the
+	// point where the bell settles at the expiry penalty; rewardAt consults
+	// it so the feedback path does no float math per queue hit.
+	rewardTab  []int8
+	expPenalty int8
 	// obs, when non-nil, receives sampled decision/reward/expire events
 	// and interval snapshots (see telemetry.go). nil costs one branch per
 	// hook site and nothing else.
@@ -69,15 +73,39 @@ func New(cfg Config) (*Prefetcher, error) {
 		return nil, err
 	}
 	return &Prefetcher{
-		cfg:     cfg,
-		reducer: newReducer(cfg.ReducerEntries),
-		table:   newCST(cfg.CSTEntries, cfg.CSTLinks),
-		history: newHistoryQueue(cfg.HistoryDepth),
-		queue:   newPrefetchQueue(cfg.QueueDepth),
-		policy:  newBandit(cfg.Epsilon, cfg.AdaptiveEpsilon, cfg.Seed),
-		metrics: Metrics{HitDepths: stats.NewHistogram(cfg.QueueDepth)},
-		candBuf: make([]int, 0, cfg.CSTLinks),
+		cfg:        cfg,
+		reducer:    newReducer(cfg.ReducerEntries),
+		table:      newCST(cfg.CSTEntries, cfg.CSTLinks),
+		history:    newHistoryQueue(cfg.HistoryDepth),
+		queue:      newPrefetchQueue(cfg.QueueDepth),
+		policy:     newBandit(cfg.Epsilon, cfg.AdaptiveEpsilon, cfg.Seed),
+		metrics:    Metrics{HitDepths: stats.NewHistogram(cfg.QueueDepth)},
+		rewardTab:  buildRewardTable(cfg.Reward),
+		expPenalty: cfg.Reward.Expired(),
 	}, nil
+}
+
+// buildRewardTable tabulates the reward bell by depth. Beyond the window's
+// upper edge the quadratic is monotone non-increasing and clamps at the
+// expiry penalty, so the table ends at the first such depth and rewardAt
+// answers everything past it with the penalty.
+func buildRewardTable(r RewardConfig) []int8 {
+	tab := make([]int8, 0, r.High+2)
+	for d := 0; ; d++ {
+		v := r.Reward(d)
+		tab = append(tab, v)
+		if d > r.High && v == r.Expired() {
+			return tab
+		}
+	}
+}
+
+// rewardAt returns cfg.Reward.Reward(depth) via the precomputed table.
+func (p *Prefetcher) rewardAt(depth int) int8 {
+	if depth < len(p.rewardTab) {
+		return p.rewardTab[depth]
+	}
+	return p.expPenalty
 }
 
 // MustNew builds a context prefetcher and panics on configuration errors
@@ -116,25 +144,32 @@ func (p *Prefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) {
 	p.metrics.Accesses++
 	block := int64(uint64(a.Addr) >> p.cfg.BlockShift)
 
-	// Context capture and two-level indexing (Figure 7).
+	// Context capture and two-level indexing (Figure 7). The default
+	// attributes are active in every set the hot path hashes, so their fold
+	// is computed once and extended into the full-context hash (reducer
+	// key) and the reduced-context hash (CST key); when the reducer holds
+	// the full set, the CST key reuses the reducer's hash outright.
 	v := p.machine.capture(a, p.cfg.BlockShift)
-	active := FullAttrSet
+	prefix := hashDefaultPrefix(&v)
+	fullHash := hashExtend(prefix, &v, FullAttrSet)
+	reduced := fullHash
 	var red *reducerEntry
 	if !p.cfg.DisableReducer {
-		fullHash := hashContext(&v, FullAttrSet)
 		red = p.reducer.lookup(fullHash)
-		active = red.active
+		if red.active != FullAttrSet {
+			reduced = hashExtend(prefix, &v, red.active)
+		}
 	}
-	key := p.table.key(hashContext(&v, active))
+	key := p.table.key(reduced)
 
 	// Feedback: reward every queued prediction of the current block by its
 	// depth (Figure 5), and fold the outcome into the policy.
 	p.queue.match(block, p.index, func(e *pfEntry, depth int) {
 		p.metrics.QueueHits++
 		p.metrics.HitDepths.Add(depth)
-		r := p.cfg.Reward.Reward(depth)
+		r := p.rewardAt(depth)
 		if entry := p.table.lookup(e.key); entry != nil {
-			entry.reward(e.delta, r)
+			entry.rewardSlot(e.slot, e.delta, r)
 		}
 		if p.obs != nil {
 			p.traceReward(e.key, e.delta, r, depth, e.issued)
@@ -199,8 +234,7 @@ func (p *Prefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) {
 // predict issues up to degree real prefetches from the entry's best links
 // and possibly one exploratory shadow prefetch (ε-greedy).
 func (p *Prefetcher) predict(entry *cstEntry, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer) {
-	cands := entry.candidates(p.candBuf)
-	if len(cands) == 0 {
+	if entry.n == 0 {
 		return
 	}
 
@@ -208,51 +242,54 @@ func (p *Prefetcher) predict(entry *cstEntry, key cstKey, block int64, a *prefet
 	// operation (ε-greedy by default; softmax/UCB as extensions).
 	entry.noteTrial()
 	if !p.cfg.DisableShadow {
-		if li := p.policy.exploreChoice(p.cfg.Policy, entry, cands); li >= 0 {
-			real := p.enqueue(entry.links[li].delta, key, block, a, iss, false)
+		if li := p.policy.exploreChoice(p.cfg.Policy, entry); li >= 0 {
+			real := p.enqueue(entry.deltas[li], uint8(li), key, block, a, iss, false)
 			if p.obs != nil {
-				p.traceDecision(entry, key, entry.links[li].delta, real, true)
+				p.traceDecision(entry, key, entry.deltas[li], real, true)
 			}
 		}
 	}
 
 	// Exploitation: the highest-scoring candidates, throttled by accuracy
-	// and by memory-system pressure.
+	// and by memory-system pressure. Each iteration takes the front-most
+	// not-yet-issued slot of the live rank order. The scan restarts from
+	// the front every time because enqueue can rescore this very entry
+	// (queue pushes fire expiry penalties), reshuffling the order mid-loop
+	// — re-deriving the best from current scores is precisely what the old
+	// per-iteration rescan did, which keeps results bit-identical.
 	degree := p.policy.degree(p.cfg.MaxDegree)
 	issued := 0
-	usedMask := 0
+	var issuedMask uint8
 	for issued < degree {
 		best := -1
-		for _, li := range cands {
-			if usedMask&(1<<li) != 0 {
-				continue
-			}
-			if best < 0 || entry.links[li].score > entry.links[best].score {
-				best = li
+		for j := 0; j < int(entry.n); j++ {
+			if s := entry.order[j]; issuedMask&(1<<s) == 0 {
+				best = int(s)
+				break
 			}
 		}
 		if best < 0 {
 			break
 		}
-		usedMask |= 1 << best
-		l := entry.links[best]
-		if l.score < p.cfg.ScoreThreshold {
+		issuedMask |= 1 << uint(best)
+		delta, score := entry.deltas[best], entry.scores[best]
+		if score < p.cfg.ScoreThreshold {
 			// No candidate with positive evidence: spend no memory traffic,
 			// but keep training — a random under-threshold candidate goes
 			// into the queue as a shadow so its reward can be measured
 			// (ties would otherwise always train the same link).
 			if !p.cfg.DisableShadow {
-				li := p.policy.pick(cands)
-				real := p.enqueue(entry.links[li].delta, key, block, a, iss, false)
+				li := p.policy.pickSlot(entry)
+				real := p.enqueue(entry.deltas[li], uint8(li), key, block, a, iss, false)
 				if p.obs != nil {
-					p.traceDecision(entry, key, entry.links[li].delta, real, true)
+					p.traceDecision(entry, key, entry.deltas[li], real, true)
 				}
 			}
 			break
 		}
-		dispatched := p.enqueue(l.delta, key, block, a, iss, true)
+		dispatched := p.enqueue(delta, uint8(best), key, block, a, iss, true)
 		if p.obs != nil {
-			p.traceDecision(entry, key, l.delta, dispatched, false)
+			p.traceDecision(entry, key, delta, dispatched, false)
 		}
 		issued++
 	}
@@ -263,20 +300,23 @@ func (p *Prefetcher) predict(entry *cstEntry, key cstKey, block int64, a *prefet
 // Expired queue entries displaced by the push receive the expiry penalty.
 // It reports whether the prediction actually dispatched to memory (false
 // for shadows and demotions), which the decision trace records.
-func (p *Prefetcher) enqueue(delta int8, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer, wantReal bool) bool {
+func (p *Prefetcher) enqueue(delta int8, slot uint8, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer, wantReal bool) bool {
 	target := block + int64(delta)
 	if target < 0 {
 		return false
 	}
 	addr := memmodel.Addr(uint64(target) << p.cfg.BlockShift)
 
+	// The target's bucket chain head serves both the duplicate check and
+	// the push below.
+	b := p.queue.bucket(target)
 	real := wantReal
 	if real && iss.FreePrefetchSlots(a.Now) < p.cfg.MSHRReserve {
 		// Memory system stressed: demote to a shadow operation (§4.2).
 		real = false
 	}
 	if real {
-		if predicted, issuedBefore := p.queue.contains(target); predicted && issuedBefore {
+		if predicted, issuedBefore := p.queue.containsAt(b, target); predicted && issuedBefore {
 			// Already in flight from an earlier context: re-enqueue as a
 			// shadow to train this context-address pair too (§4.2).
 			real = false
@@ -297,20 +337,17 @@ func (p *Prefetcher) enqueue(delta int8, key cstKey, block int64, a *prefetch.Ac
 	} else {
 		p.metrics.ShadowPrefetches++
 	}
-	expired, has := p.queue.push(pfEntry{
-		block: target, key: key, delta: delta,
-		index: p.index, issued: dispatched, live: true,
-	})
+	exp, has := p.queue.pushAt(b, target, key, delta, slot, p.index, dispatched)
 	if has {
 		p.metrics.Expired++
-		if entry := p.table.lookup(expired.key); entry != nil {
-			entry.reward(expired.delta, p.cfg.Reward.Expired())
+		if entry := p.table.lookup(exp.key); entry != nil {
+			entry.rewardSlot(exp.slot, exp.delta, p.expPenalty)
 		}
-		if expired.issued {
+		if exp.issued {
 			p.policy.feedback(false)
 		}
 		if p.obs != nil {
-			p.traceExpire(expired.key, expired.delta, p.cfg.Reward.Expired(), expired.issued)
+			p.traceExpire(exp.key, exp.delta, p.expPenalty, exp.issued)
 		}
 	}
 	return dispatched

@@ -1,0 +1,602 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"semloc/internal/cache"
+	"semloc/internal/memmodel"
+	"semloc/internal/prefetch"
+	"semloc/internal/trace"
+)
+
+// This file retains a naive reference implementation of the learner's
+// decide/reward path — the shape the code had before the flattened-CST
+// rewrite (DESIGN.md §15) — and property-tests the production path against
+// it for bit-identical behaviour. The reference deliberately keeps every
+// slow idiom the rewrite removed: an array-of-structs link layout, a fresh
+// candidate slice per prediction, a best-link rescan per issued prefetch,
+// a per-exploration softmax weight allocation, separate full/reduced
+// context hashes, per-hit float reward evaluation, and a queue searched by
+// linear scan. Only pure shared functions (context capture, hashContext,
+// the reward bell, saturatingAdd) and the unchanged reducer/history units
+// are reused; everything the rewrite touched is reimplemented here from
+// the algorithm's specification.
+
+type refLink struct {
+	delta int8
+	score int8
+	used  bool
+}
+
+type refEntry struct {
+	tag    uint8
+	valid  bool
+	churn  uint8
+	trials uint16
+	links  []refLink
+}
+
+type refCST struct {
+	entries []refEntry
+	bits    uint
+}
+
+func newRefCST(entries, links int) *refCST {
+	c := &refCST{entries: make([]refEntry, entries)}
+	for i := range c.entries {
+		c.entries[i].links = make([]refLink, links)
+	}
+	n := entries
+	for n > 1 {
+		n >>= 1
+		c.bits++
+	}
+	return c
+}
+
+func (c *refCST) key(reducedHash uint64) cstKey {
+	mixed := reducedHash * 0x9e3779b97f4a7c15
+	mixed ^= mixed >> 29
+	return cstKey{idx: int32(mixed >> (64 - c.bits)), tag: uint8(mixed >> 24)}
+}
+
+func (c *refCST) lookup(k cstKey) *refEntry {
+	e := &c.entries[k.idx]
+	if e.valid && e.tag == k.tag {
+		return e
+	}
+	return nil
+}
+
+func (c *refCST) ensure(k cstKey) *refEntry {
+	e := &c.entries[k.idx]
+	if e.valid && e.tag == k.tag {
+		return e
+	}
+	*e = refEntry{tag: k.tag, valid: true, links: e.links}
+	for i := range e.links {
+		e.links[i] = refLink{}
+	}
+	return e
+}
+
+func (e *refEntry) candidates() []int {
+	var out []int
+	for i, l := range e.links {
+		if l.used {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (e *refEntry) addCandidate(delta int8, allowReplace bool) {
+	worst := 0
+	for i := range e.links {
+		if !e.links[i].used {
+			worst = i
+			break
+		}
+		if e.links[i].delta == delta {
+			return
+		}
+		if e.links[i].score < e.links[worst].score {
+			worst = i
+		}
+	}
+	w := &e.links[worst]
+	if w.used && (w.score > 0 || !allowReplace) {
+		e.noteChurn()
+		return
+	}
+	if w.used {
+		e.noteChurn()
+	}
+	*w = refLink{delta: delta, used: true}
+}
+
+func (e *refEntry) reward(delta int8, amount int8) {
+	for i := range e.links {
+		if e.links[i].used && e.links[i].delta == delta {
+			e.links[i].score = saturatingAdd(e.links[i].score, amount)
+			return
+		}
+	}
+}
+
+func (e *refEntry) noteChurn() {
+	if e.churn < 255 {
+		e.churn++
+	}
+}
+
+func (e *refEntry) noteTrial() {
+	if e.trials < 65535 {
+		e.trials++
+	}
+}
+
+func (e *refEntry) overloaded(threshold uint8) bool {
+	if e.churn < threshold {
+		return false
+	}
+	for _, l := range e.links {
+		if l.used && l.score > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// The queue side of the reference is refQueue (pfqueue_test.go): the
+// pre-index linear-scan ring, reused here so the end-to-end comparison
+// also re-proves the bucket index against its own reference.
+
+// refPrefetcher mirrors Prefetcher over the naive structures. The bandit
+// is the production one (its RNG, gating and accuracy tracking did not
+// change shape), but every policy decision is recomputed here over the
+// candidate slice: allocating softmax weights per call, and UCB with the
+// documented smaller-delta tie-break.
+type refPrefetcher struct {
+	cfg     Config
+	reducer *reducer
+	table   *refCST
+	history *historyQueue
+	queue   *refQueue
+	policy  *bandit
+	machine machineState
+	index   uint64
+	metrics Metrics
+}
+
+func newRefPrefetcher(cfg Config) *refPrefetcher {
+	return &refPrefetcher{
+		cfg:     cfg,
+		reducer: newReducer(cfg.ReducerEntries),
+		table:   newRefCST(cfg.CSTEntries, cfg.CSTLinks),
+		history: newHistoryQueue(cfg.HistoryDepth),
+		queue:   newRefQueue(cfg.QueueDepth),
+		policy:  newBandit(cfg.Epsilon, cfg.AdaptiveEpsilon, cfg.Seed),
+	}
+}
+
+func (p *refPrefetcher) exploreChoice(e *refEntry, cands []int) int {
+	b := p.policy
+	switch p.cfg.Policy {
+	case PolicySoftmax:
+		if !b.explore() {
+			return -1
+		}
+		weights := make([]float64, len(cands))
+		var sum float64
+		for i, li := range cands {
+			weights[i] = math.Exp(float64(e.links[li].score) / softmaxTemperature)
+			sum += weights[i]
+		}
+		target := b.float() * sum
+		for i, li := range cands {
+			target -= weights[i]
+			if target <= 0 {
+				return li
+			}
+		}
+		return cands[len(cands)-1]
+	case PolicyUCB:
+		best, bestV := -1, math.Inf(-1)
+		var bestDelta int8
+		for _, li := range cands {
+			score := e.links[li].score
+			trials := 1 + math.Abs(float64(score))
+			v := float64(score) + ucbC*math.Sqrt(math.Log(float64(1+e.trials))/trials)
+			if v > bestV || (v == bestV && e.links[li].delta < bestDelta) {
+				best, bestV, bestDelta = li, v, e.links[li].delta
+			}
+		}
+		return best
+	default:
+		if !b.explore() {
+			return -1
+		}
+		return b.pick(cands)
+	}
+}
+
+func (p *refPrefetcher) onAccess(a *prefetch.Access, iss prefetch.Issuer) {
+	p.metrics.Accesses++
+	block := int64(uint64(a.Addr) >> p.cfg.BlockShift)
+
+	v := p.machine.capture(a, p.cfg.BlockShift)
+	active := FullAttrSet
+	var red *reducerEntry
+	if !p.cfg.DisableReducer {
+		red = p.reducer.lookup(hashContext(&v, FullAttrSet))
+		active = red.active
+	}
+	key := p.table.key(hashContext(&v, active))
+
+	p.queue.match(block, p.index, func(e *pfEntry, depth int) {
+		p.metrics.QueueHits++
+		r := p.cfg.Reward.Reward(depth)
+		if entry := p.table.lookup(e.key); entry != nil {
+			entry.reward(e.delta, r)
+		}
+		if e.issued {
+			p.policy.feedback(r > 0)
+		}
+	})
+
+	d := p.cfg.SampleDepths[int(p.policy.next()%uint64(len(p.cfg.SampleDepths)))]
+	if h := p.history.at(d); h != nil {
+		delta := block - h.block
+		if delta != 0 && delta >= -128 && delta <= 127 {
+			p.table.ensure(h.key).addCandidate(int8(delta), p.policy.next()&3 == 0)
+		}
+	}
+
+	entry := p.table.lookup(key)
+	if red != nil {
+		if entry != nil {
+			red.noteWarm()
+			if entry.overloaded(overloadChurn) {
+				if red.overload() {
+					p.metrics.Activations++
+				}
+				entry.churn /= 2
+			}
+		} else {
+			red.noteCold()
+			if red.coldStreak >= coldStreakLimit {
+				if red.underload() {
+					p.metrics.Deactivations++
+				}
+			}
+		}
+	}
+	if entry != nil {
+		p.predict(entry, key, block, a, iss)
+	}
+
+	p.history.push(key, block)
+	p.index++
+	p.machine.update(a, p.cfg.BlockShift)
+
+	if p.index&(churnDecayEvery-1) == 0 {
+		for i := range p.table.entries {
+			p.table.entries[i].churn /= 2
+		}
+	}
+}
+
+func (p *refPrefetcher) predict(entry *refEntry, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer) {
+	cands := entry.candidates()
+	if len(cands) == 0 {
+		return
+	}
+	entry.noteTrial()
+	if !p.cfg.DisableShadow {
+		if li := p.exploreChoice(entry, cands); li >= 0 {
+			p.enqueue(entry.links[li].delta, key, block, a, iss, false)
+		}
+	}
+	degree := p.policy.degree(p.cfg.MaxDegree)
+	issued := 0
+	usedMask := 0
+	for issued < degree {
+		best := -1
+		for _, li := range cands {
+			if usedMask&(1<<li) != 0 {
+				continue
+			}
+			if best < 0 || entry.links[li].score > entry.links[best].score {
+				best = li
+			}
+		}
+		if best < 0 {
+			break
+		}
+		usedMask |= 1 << best
+		l := entry.links[best]
+		if l.score < p.cfg.ScoreThreshold {
+			if !p.cfg.DisableShadow {
+				li := p.policy.pick(cands)
+				p.enqueue(entry.links[li].delta, key, block, a, iss, false)
+			}
+			break
+		}
+		p.enqueue(l.delta, key, block, a, iss, true)
+		issued++
+	}
+}
+
+func (p *refPrefetcher) enqueue(delta int8, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer, wantReal bool) {
+	target := block + int64(delta)
+	if target < 0 {
+		return
+	}
+	addr := memmodel.Addr(uint64(target) << p.cfg.BlockShift)
+
+	real := wantReal
+	if real && iss.FreePrefetchSlots(a.Now) < p.cfg.MSHRReserve {
+		real = false
+	}
+	if real {
+		if predicted, issuedBefore := p.queue.contains(target); predicted && issuedBefore {
+			real = false
+		}
+	}
+	dispatched := false
+	if real {
+		dispatched = iss.Prefetch(addr, a.Now)
+	}
+	if !dispatched {
+		iss.Shadow(addr)
+	}
+	p.metrics.Predictions++
+	if dispatched {
+		p.metrics.RealPrefetches++
+	} else {
+		p.metrics.ShadowPrefetches++
+	}
+	expired, has := p.queue.push(pfEntry{
+		block: target, key: key, delta: delta,
+		index: p.index, issued: dispatched, live: true,
+	})
+	if has {
+		p.metrics.Expired++
+		if entry := p.table.lookup(expired.key); entry != nil {
+			entry.reward(expired.delta, p.cfg.Reward.Expired())
+		}
+		if expired.issued {
+			p.policy.feedback(false)
+		}
+	}
+}
+
+// seqIssuer records every issuer interaction as a comparable event string
+// and varies its free-slot answer deterministically with the query count,
+// so the MSHR-demotion branch is exercised on both sides identically.
+type seqIssuer struct {
+	events  []string
+	queries int
+}
+
+func (s *seqIssuer) Prefetch(addr memmodel.Addr, now cache.Cycle) bool {
+	// Every third real dispatch attempt is rejected by the memory system.
+	ok := len(s.events)%3 != 2
+	s.events = append(s.events, fmt.Sprintf("P %x %d %v", addr, now, ok))
+	return ok
+}
+
+func (s *seqIssuer) Shadow(addr memmodel.Addr) {
+	s.events = append(s.events, fmt.Sprintf("S %x", addr))
+}
+
+func (s *seqIssuer) FreePrefetchSlots(now cache.Cycle) int {
+	s.queries++
+	if s.queries%11 == 0 {
+		return 0
+	}
+	return 4
+}
+
+// refStream builds an access stream mixing a recurring pointer chase with
+// periodic phase changes (different PCs and hints) and occasional random
+// jumps, so reducer activation/deactivation, negative deltas, queue
+// expiry, cold entries and tag conflicts all occur.
+func refStream(n int, seed uint64, chaotic bool) []prefetch.Access {
+	rng := memmodel.NewRNG(seed)
+	base := int64(1 << 20)
+	blocks := make([]int64, 48)
+	cur := base
+	for i := range blocks {
+		blocks[i] = cur
+		cur += int64(rng.Intn(220) - 110)
+		if cur < base-120 {
+			cur = base
+		}
+	}
+	out := make([]prefetch.Access, n)
+	for i := range out {
+		b := blocks[i%len(blocks)]
+		next := blocks[(i+1)%len(blocks)]
+		if chaotic && rng.Intn(8) == 0 {
+			b = base + int64(rng.Intn(4096))
+		}
+		addr := memmodel.Addr(b << 6)
+		pc := uint64(0x400680)
+		hints := trace.SWHints{Valid: true, TypeID: 3, LinkOffset: 8, RefForm: trace.RefArrow}
+		if chaotic && i%257 > 200 {
+			pc = 0x400990 + uint64(i%3)*16
+			hints = trace.SWHints{}
+		}
+		out[i] = prefetch.Access{
+			PC:         pc,
+			Addr:       addr,
+			Line:       memmodel.LineOf(addr),
+			Index:      uint64(i),
+			Now:        cache.Cycle(i * 30),
+			MissedL1:   true,
+			Value:      uint64(next << 6),
+			Reg:        uint64(i % 5),
+			BranchHist: uint16(i * 7),
+			Hints:      hints,
+		}
+	}
+	return out
+}
+
+// compareLearners drives the production and reference learners over the
+// same stream and requires bit-identical behaviour: the same issuer event
+// sequence, the same metrics, policy state and RNG position, and the same
+// learned table contents.
+func compareLearners(t *testing.T, cfg Config, stream []prefetch.Access) {
+	t.Helper()
+	fast := MustNew(cfg)
+	ref := newRefPrefetcher(cfg)
+	fi, ri := &seqIssuer{}, &seqIssuer{}
+	for i := range stream {
+		fast.OnAccess(&stream[i], fi)
+		ref.onAccess(&stream[i], ri)
+		if len(fi.events) != len(ri.events) {
+			t.Fatalf("access %d: event count diverged: fast %d, ref %d",
+				i, len(fi.events), len(ri.events))
+		}
+	}
+	for i := range fi.events {
+		if fi.events[i] != ri.events[i] {
+			t.Fatalf("issuer event %d diverged: fast %q, ref %q", i, fi.events[i], ri.events[i])
+		}
+	}
+
+	fm, rm := fast.Metrics(), ref.metrics
+	fm.HitDepths, rm.HitDepths = nil, nil
+	if fm != rm {
+		t.Fatalf("metrics diverged:\nfast %+v\nref  %+v", fm, rm)
+	}
+	// The reference skips the hit-depth histogram; depth agreement is
+	// already covered by the per-hit rewards folded into scores.
+
+	if fast.policy.rng != ref.policy.rng {
+		t.Fatalf("RNG state diverged: fast %d, ref %d", fast.policy.rng, ref.policy.rng)
+	}
+	if fast.policy.accuracy != ref.policy.accuracy || fast.policy.epsilon != ref.policy.epsilon {
+		t.Fatalf("policy state diverged: accuracy %v vs %v, epsilon %v vs %v",
+			fast.policy.accuracy, ref.policy.accuracy, fast.policy.epsilon, ref.policy.epsilon)
+	}
+
+	for idx := range fast.table.entries {
+		fe, re := &fast.table.entries[idx], &ref.table.entries[idx]
+		if fe.valid != re.valid {
+			t.Fatalf("entry %d validity diverged", idx)
+		}
+		if !fe.valid {
+			continue
+		}
+		if fe.tag != re.tag || fe.churn != re.churn || fe.trials != re.trials {
+			t.Fatalf("entry %d header diverged: fast tag=%d churn=%d trials=%d, ref tag=%d churn=%d trials=%d",
+				idx, fe.tag, fe.churn, fe.trials, re.tag, re.churn, re.trials)
+		}
+		for li := range re.links {
+			if fe.isUsed(li) != re.links[li].used {
+				t.Fatalf("entry %d slot %d used diverged", idx, li)
+			}
+			if !re.links[li].used {
+				continue
+			}
+			if fe.deltas[li] != re.links[li].delta || fe.scores[li] != re.links[li].score {
+				t.Fatalf("entry %d slot %d diverged: fast (%d,%d), ref (%d,%d)",
+					idx, li, fe.deltas[li], fe.scores[li], re.links[li].delta, re.links[li].score)
+			}
+		}
+	}
+}
+
+// TestFastPathBitIdenticalToReference is the seed-sweep property test the
+// flattened hot path is gated on: across policies, configurations and
+// seeds, the production learner must make exactly the decisions of the
+// retained naive reference.
+func TestFastPathBitIdenticalToReference(t *testing.T) {
+	configs := map[string]func() Config{
+		"default": DefaultConfig,
+		"small": func() Config {
+			cfg := DefaultConfig()
+			cfg.CSTEntries = 64
+			cfg.CSTLinks = 2
+			cfg.ReducerEntries = 16
+			cfg.HistoryDepth = 8
+			cfg.QueueDepth = 8
+			cfg.SampleDepths = []int{1, 2, 3}
+			return cfg
+		},
+		"noreducer-flat-wide": func() Config {
+			cfg := DefaultConfig()
+			cfg.DisableReducer = true
+			cfg.Reward.Flat = true
+			cfg.CSTLinks = 8
+			return cfg
+		},
+		"noshadow-single": func() Config {
+			cfg := DefaultConfig()
+			cfg.DisableShadow = true
+			cfg.CSTLinks = 1
+			cfg.MaxDegree = 2
+			return cfg
+		},
+	}
+	for name, mk := range configs {
+		for _, policy := range []PolicyKind{PolicyEpsilonGreedy, PolicySoftmax, PolicyUCB} {
+			for _, seed := range []uint64{1, 7} {
+				for _, chaotic := range []bool{false, true} {
+					cfg := mk()
+					cfg.Policy = policy
+					cfg.Seed = seed
+					label := fmt.Sprintf("%s/%v/seed%d/chaotic=%v", name, policy, seed, chaotic)
+					t.Run(label, func(t *testing.T) {
+						compareLearners(t, cfg, refStream(4000, seed*977+3, chaotic))
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestHashPrefixEquivalence pins the optimisation the batched hot-path
+// hashing relies on: for any attribute set containing the default set,
+// extending the default prefix equals hashing the set directly.
+func TestHashPrefixEquivalence(t *testing.T) {
+	rng := memmodel.NewRNG(5)
+	for trial := 0; trial < 200; trial++ {
+		var v contextVector
+		for i := range v {
+			v[i] = rng.Uint64()
+		}
+		set := DefaultAttrSet | AttrSet(rng.Uint64())&FullAttrSet
+		prefix := hashDefaultPrefix(&v)
+		if got, want := hashExtend(prefix, &v, set), hashContext(&v, set); got != want {
+			t.Fatalf("set %08b: hashExtend = %x, hashContext = %x", set, got, want)
+		}
+	}
+}
+
+// TestRewardTableMatchesBell pins the depth-indexed reward table against
+// the analytic bell for every depth the queue can report.
+func TestRewardTableMatchesBell(t *testing.T) {
+	for _, cfg := range []RewardConfig{
+		DefaultRewardConfig(),
+		{Low: 0, High: 50, Peak: 16, Penalty: 1, Flat: true},
+		{Low: 10, High: 30, Peak: 20, Penalty: 0},
+	} {
+		p := MustNew(func() Config {
+			c := DefaultConfig()
+			c.Reward = cfg
+			return c
+		}())
+		for d := 0; d < 4096; d++ {
+			if got, want := p.rewardAt(d), cfg.Reward(d); got != want {
+				t.Fatalf("%+v: rewardAt(%d) = %d, want %d", cfg, d, got, want)
+			}
+		}
+	}
+}

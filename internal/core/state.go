@@ -111,6 +111,7 @@ type PFEntryState struct {
 	KeyIdx int    `json:"key_idx"`
 	KeyTag uint8  `json:"key_tag"`
 	Delta  int8   `json:"delta"`
+	Slot   uint8  `json:"slot,omitempty"`
 	Index  uint64 `json:"index"`
 	Issued bool   `json:"issued"`
 	Hit    bool   `json:"hit"`
@@ -156,9 +157,9 @@ func (p *Prefetcher) SaveState() *LearnerState {
 			continue
 		}
 		es := CSTEntryState{Idx: i, Tag: e.tag, Trials: e.trials, Churn: e.churn,
-			Links: make([]LinkState, len(e.links))}
-		for li, l := range e.links {
-			es.Links[li] = LinkState{Delta: l.delta, Score: l.score, Used: l.used}
+			Links: make([]LinkState, int(e.links))}
+		for li := 0; li < int(e.links); li++ {
+			es.Links[li] = LinkState{Delta: e.deltas[li], Score: e.scores[li], Used: e.isUsed(li)}
 		}
 		st.CST = append(st.CST, es)
 	}
@@ -168,7 +169,7 @@ func (p *Prefetcher) SaveState() *LearnerState {
 	}
 	for i, e := range p.history.entries {
 		st.History.Entries[i] = HistoryEntryState{
-			KeyIdx: e.key.idx, KeyTag: e.key.tag, Block: e.block, Live: e.live,
+			KeyIdx: int(e.key.idx), KeyTag: e.key.tag, Block: e.block, Live: e.live,
 		}
 	}
 	st.Queue = QueueState{
@@ -177,7 +178,7 @@ func (p *Prefetcher) SaveState() *LearnerState {
 	}
 	for i, e := range p.queue.entries {
 		st.Queue.Entries[i] = PFEntryState{
-			Block: e.block, KeyIdx: e.key.idx, KeyTag: e.key.tag, Delta: e.delta,
+			Block: e.block, KeyIdx: int(e.key.idx), KeyTag: e.key.tag, Delta: e.delta, Slot: e.slot,
 			Index: e.index, Issued: e.issued, Hit: e.hit, Live: e.live,
 		}
 	}
@@ -269,29 +270,34 @@ func NewFromState(st *LearnerState) (*Prefetcher, error) {
 		dst.trials = e.Trials
 		dst.churn = e.Churn
 		for li, l := range e.Links {
-			dst.links[li] = link{delta: l.Delta, score: l.Score, used: l.Used}
+			dst.deltas[li] = l.Delta
+			dst.scores[li] = l.Score
+			if l.Used {
+				dst.used |= 1 << uint(li)
+			}
 		}
+		dst.rebuildOrder()
 	}
 	p.history.head = st.History.Head
 	p.history.size = st.History.Size
 	for i, e := range st.History.Entries {
 		p.history.entries[i] = historyEntry{
-			key: cstKey{idx: e.KeyIdx, tag: e.KeyTag}, block: e.Block, live: e.Live,
+			key: cstKey{idx: int32(e.KeyIdx), tag: e.KeyTag}, block: e.Block, live: e.Live,
 		}
 	}
 	p.queue.head = st.Queue.Head
 	p.queue.size = st.Queue.Size
 	for i, e := range st.Queue.Entries {
 		p.queue.entries[i] = pfEntry{
-			block: e.Block, key: cstKey{idx: e.KeyIdx, tag: e.KeyTag}, delta: e.Delta,
-			index: e.Index, issued: e.Issued, hit: e.Hit, live: e.Live, next: nilIdx,
+			block: e.Block, key: cstKey{idx: int32(e.KeyIdx), tag: e.KeyTag}, delta: e.Delta,
+			slot: e.Slot, index: e.Index, issued: e.Issued, hit: e.Hit, live: e.Live, next: nilIdx,
 		}
 	}
 	// Rebuild the block→entry bucket index: link live, unhit slots in
 	// ascending slot order, reproducing the chains the saving queue held.
 	for i := range p.queue.entries {
 		if p.queue.entries[i].live && !p.queue.entries[i].hit {
-			p.queue.link(int32(i))
+			p.queue.link(p.queue.bucket(p.queue.entries[i].block), int32(i))
 		}
 	}
 	return p, nil

@@ -182,7 +182,7 @@ func TestCSTCandidateInsertReplace(t *testing.T) {
 	e.addCandidate(9, true)
 	found9 := false
 	for _, li := range e.candidates(nil) {
-		if e.links[li].delta == 9 {
+		if e.deltas[li] == 9 {
 			found9 = true
 		}
 	}
@@ -203,7 +203,7 @@ func TestCSTPositiveScoreProtected(t *testing.T) {
 	e.reward(7, 10)
 	e.addCandidate(9, true)
 	for _, li := range e.candidates(nil) {
-		if e.links[li].delta == 9 {
+		if e.deltas[li] == 9 {
 			t.Error("candidate with positive-score victims should be dropped")
 		}
 	}
@@ -222,13 +222,13 @@ func TestCSTBestAndReward(t *testing.T) {
 	e.addCandidate(-20, true)
 	e.reward(-20, 50)
 	best := e.best()
-	if best < 0 || e.links[best].delta != -20 {
+	if best < 0 || e.deltas[best] != -20 {
 		t.Errorf("best should be the rewarded link")
 	}
 	e.reward(-20, -100)
 	best = e.best()
-	if e.links[best].delta != 3 {
-		t.Errorf("after demotion best should change, got delta %d", e.links[best].delta)
+	if e.deltas[best] != 3 {
+		t.Errorf("after demotion best should change, got delta %d", e.deltas[best])
 	}
 	// Reward for an unknown delta is a no-op.
 	e.reward(99, 100)
@@ -275,7 +275,7 @@ func TestCSTReallocationClearsLinks(t *testing.T) {
 
 func TestCSTKeyDistribution(t *testing.T) {
 	c := newCST(2048, 4)
-	seen := make(map[int]bool)
+	seen := make(map[int32]bool)
 	// Aligned hash inputs (like PCs) must spread across the table.
 	for i := uint64(0); i < 512; i++ {
 		seen[c.key(i<<10).idx] = true
@@ -291,7 +291,7 @@ func TestHistoryQueue(t *testing.T) {
 		t.Error("empty queue should return nil")
 	}
 	for i := 0; i < 3; i++ {
-		h.push(cstKey{idx: i}, int64(100+i))
+		h.push(cstKey{idx: int32(i)}, int64(100+i))
 	}
 	if e := h.at(0); e == nil || e.block != 102 {
 		t.Errorf("at(0) = %+v, want block 102", e)
@@ -338,7 +338,7 @@ func TestHistoryQueueProperty(t *testing.T) {
 
 func TestPrefetchQueueMatchAndDepth(t *testing.T) {
 	q := newPrefetchQueue(8)
-	q.push(pfEntry{block: 42, index: 10, issued: true, live: true})
+	q.push(42, cstKey{}, 0, 0, 10, true)
 	var gotDepth int
 	matches := 0
 	q.match(42, 35, func(e *pfEntry, depth int) {
@@ -354,27 +354,27 @@ func TestPrefetchQueueMatchAndDepth(t *testing.T) {
 
 func TestPrefetchQueueExpiry(t *testing.T) {
 	q := newPrefetchQueue(2)
-	q.push(pfEntry{block: 1, live: true})
-	q.push(pfEntry{block: 2, live: true})
-	exp, has := q.push(pfEntry{block: 3, live: true})
-	if !has || exp.block != 1 {
-		t.Errorf("expected block 1 to expire, got %+v/%v", exp, has)
+	q.push(1, cstKey{idx: 11}, -3, 0, 0, false)
+	q.push(2, cstKey{}, 0, 0, 0, false)
+	exp, has := q.push(3, cstKey{}, 0, 0, 0, false)
+	if !has || exp.key.idx != 11 || exp.delta != -3 {
+		t.Errorf("expected entry for block 1 to expire, got %+v/%v", exp, has)
 	}
 	// Hit entries do not expire as failures.
 	q.match(2, 0, func(*pfEntry, int) {})
-	if _, has := q.push(pfEntry{block: 4, live: true}); has {
+	if _, has := q.push(4, cstKey{}, 0, 0, 0, false); has {
 		t.Error("hit entry must not be reported as expired")
 	}
 }
 
 func TestPrefetchQueueContains(t *testing.T) {
 	q := newPrefetchQueue(4)
-	q.push(pfEntry{block: 9, issued: false, live: true})
+	q.push(9, cstKey{}, 0, 0, 0, false)
 	pred, issued := q.contains(9)
 	if !pred || issued {
 		t.Errorf("contains(9) = %v/%v, want predicted unissued", pred, issued)
 	}
-	q.push(pfEntry{block: 9, issued: true, live: true})
+	q.push(9, cstKey{}, 0, 0, 0, true)
 	if _, issued := q.contains(9); !issued {
 		t.Error("issued duplicate should report issued")
 	}

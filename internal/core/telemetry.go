@@ -74,9 +74,9 @@ func (p *Prefetcher) traceDecision(entry *cstEntry, key cstKey, delta int8, real
 		Real:    real,
 		Explore: explore,
 	}
-	for _, l := range entry.links {
-		if l.used {
-			ev.Candidates = append(ev.Candidates, obs.CandidateScore{Delta: l.delta, Score: l.score})
+	for li := 0; li < int(entry.links); li++ {
+		if entry.isUsed(li) {
+			ev.Candidates = append(ev.Candidates, obs.CandidateScore{Delta: entry.deltas[li], Score: entry.scores[li]})
 		}
 	}
 	p.obs.Emit(&ev)

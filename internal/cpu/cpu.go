@@ -20,6 +20,7 @@ package cpu
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"semloc/internal/cache"
@@ -117,6 +118,26 @@ func Run(tr *trace.Trace, mem Memory, cfg Config) (Result, error) {
 // progress-counter publications; a power of two so the check is a mask.
 const checkEvery = 8192
 
+// donePool recycles the per-run completion-time slice (one Cycle per trace
+// record, several MB at benchmark scales). Allocating it fresh inside every
+// run put multi-megabyte garbage — and the GC cycles it triggers — inside
+// the benchmark's timed region; reusing a cleared buffer keeps the run
+// allocation-free for the dominant cost.
+var donePool = sync.Pool{New: func() any { return new([]cache.Cycle) }}
+
+// getDone returns a zeroed completion-time slice of length n, reusing
+// pooled capacity when available.
+func getDone(n int) *[]cache.Cycle {
+	bp := donePool.Get().(*[]cache.Cycle)
+	if cap(*bp) < n {
+		*bp = make([]cache.Cycle, n)
+		return bp
+	}
+	*bp = (*bp)[:n]
+	clear(*bp)
+	return bp
+}
+
 // RunContext executes the trace against mem and returns timing results.
 // The simulation loop checks ctx every few thousand records, so a
 // cancelled context (user interrupt, watchdog abort) stops the run
@@ -128,13 +149,15 @@ func RunContext(ctx context.Context, tr *trace.Trace, mem Memory, cfg Config) (R
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	doneBuf := getDone(len(tr.Records))
+	defer donePool.Put(doneBuf)
 	var (
 		res       Result
 		slots     uint64 // frontend progress in 1/Width-cycle slots
 		width     = uint64(cfg.Width)
 		instrs    uint64 // instructions dispatched
 		lastRet   cache.Cycle
-		done      = make([]cache.Cycle, len(tr.Records))
+		done      = *doneBuf
 		rob       = newRing(cfg.ROB)
 		lqRing    = make([]cache.Cycle, cfg.LQ)
 		sqRing    = make([]cache.Cycle, cfg.SQ)

@@ -123,11 +123,19 @@ func RunContext(ctx context.Context, tr *trace.Trace, pf prefetch.Prefetcher, cf
 	// the harness recover): get resets scratch before reuse, so a partially
 	// used scratch cannot poison a later run.
 	defer cfg.Pool.put(sc)
-	sc.hists = branchHistories(tr, sc.hists)
+	// Pooled runs share one immutable memoized history sequence per trace
+	// (read-only); unpooled runs compute into the scratch buffer as before.
+	var hists []uint16
+	if cfg.Pool != nil {
+		hists = cfg.Pool.branchHists(tr)
+	} else {
+		sc.hists = branchHistories(tr, sc.hists)
+		hists = sc.hists
+	}
 	ad := &adapter{
 		hier:      sc.hier,
 		pf:        pf,
-		hists:     sc.hists,
+		hists:     hists,
 		hitDepths: stats.NewHistogram(192),
 		predLog:   sc.plog,
 	}
@@ -355,10 +363,30 @@ func (m *adapter) FreePrefetchSlots(now cache.Cycle) int { return m.hier.FreePre
 // Figure 8 hit-depth CDF and the non-timely classification. It is the
 // simulator-side analogue of the context prefetcher's own prefetch queue,
 // kept separate so every prefetcher is measured identically.
+//
+// The line→slot index is an open-addressed table rather than a Go map:
+// every demand access of every cell pays one consume() and every
+// prediction one add(), and runtime map operations (hashing through the
+// interface machinery, bucket chasing, write barriers on delete) showed up
+// as a measurable slice of the context cells' per-access cost. Linear
+// probing over one flat array of (line, slot) pairs keeps a probe step to
+// a single cache line, and backward-shift deletion keeps probe chains
+// valid with no tombstone accumulation. At most len(ring) lines are
+// indexed at once and the table is sized 4× that, so probes stay short.
 type predictionLog struct {
 	ring []predEntry
 	head int
-	pos  map[memmodel.Line]int // line -> newest live ring slot
+	// idx is the open-addressed index: idx[i].slot is the ring slot of the
+	// newest live prediction of idx[i].line, or predNoSlot when i is empty.
+	idx  []predSlot
+	mask uint64
+}
+
+// predSlot is one index position; line and slot share a struct so a probe
+// touches one cache line, not one per array.
+type predSlot struct {
+	line memmodel.Line
+	slot int32
 }
 
 type predEntry struct {
@@ -368,43 +396,150 @@ type predEntry struct {
 	live   bool
 }
 
+const predNoSlot int32 = -1
+
 func newPredictionLog(capacity int) *predictionLog {
-	return &predictionLog{ring: make([]predEntry, capacity), pos: make(map[memmodel.Line]int, capacity)}
+	n := 1
+	for n < 4*capacity {
+		n <<= 1
+	}
+	p := &predictionLog{
+		ring: make([]predEntry, capacity),
+		idx:  make([]predSlot, n),
+		mask: uint64(n - 1),
+	}
+	for i := range p.idx {
+		p.idx[i].slot = predNoSlot
+	}
+	return p
 }
 
 // reset clears the log in place for reuse by a pooled run.
 func (p *predictionLog) reset() {
 	clear(p.ring)
 	p.head = 0
-	clear(p.pos)
+	for i := range p.idx {
+		p.idx[i] = predSlot{slot: predNoSlot}
+	}
+}
+
+// home returns line's preferred index position.
+func (p *predictionLog) home(line memmodel.Line) uint64 {
+	h := uint64(line) * 0x9e3779b97f4a7c15
+	return (h ^ (h >> 32)) & p.mask
+}
+
+// lookup returns the ring slot indexed for line, or predNoSlot.
+func (p *predictionLog) lookup(line memmodel.Line) int32 {
+	for i := p.home(line); ; i = (i + 1) & p.mask {
+		e := &p.idx[i]
+		if e.slot == predNoSlot {
+			return predNoSlot
+		}
+		if e.line == line {
+			return e.slot
+		}
+	}
+}
+
+// store indexes line at the given ring slot, overwriting any prior entry.
+func (p *predictionLog) store(line memmodel.Line, slot int32) {
+	for i := p.home(line); ; i = (i + 1) & p.mask {
+		e := &p.idx[i]
+		if e.slot == predNoSlot || e.line == line {
+			e.line = line
+			e.slot = slot
+			return
+		}
+	}
+}
+
+// remove drops line from the index, backward-shifting the tail of its
+// probe chain so later lookups never cross a hole.
+func (p *predictionLog) remove(line memmodel.Line) {
+	i := p.home(line)
+	for {
+		e := &p.idx[i]
+		if e.slot == predNoSlot {
+			return
+		}
+		if e.line == line {
+			break
+		}
+		i = (i + 1) & p.mask
+	}
+	p.shiftHole(i)
+}
+
+// removeIfSlot drops line from the index only if it currently indexes the
+// given ring slot — the single probe add() needs to retire the head's
+// stale mapping, fused so eviction does not walk the chain twice.
+func (p *predictionLog) removeIfSlot(line memmodel.Line, slot int32) {
+	i := p.home(line)
+	for {
+		e := &p.idx[i]
+		if e.slot == predNoSlot {
+			return
+		}
+		if e.line == line {
+			if e.slot != slot {
+				return
+			}
+			break
+		}
+		i = (i + 1) & p.mask
+	}
+	p.shiftHole(i)
+}
+
+// shiftHole closes the hole at index position i by backward-shifting the
+// tail of the probe chain.
+func (p *predictionLog) shiftHole(i uint64) {
+	j := i
+	for {
+		j = (j + 1) & p.mask
+		if p.idx[j].slot == predNoSlot {
+			break
+		}
+		// The entry at j may fill the hole at i only if its home does not
+		// lie in the cyclic range (i, j] — otherwise moving it would put it
+		// before its own probe start.
+		h := p.home(p.idx[j].line)
+		if (j-h)&p.mask >= (j-i)&p.mask {
+			p.idx[i] = p.idx[j]
+			i = j
+		}
+	}
+	p.idx[i].slot = predNoSlot
 }
 
 // add records a prediction of line at access index idx.
 func (p *predictionLog) add(line memmodel.Line, idx uint64, issued bool) {
 	old := &p.ring[p.head]
 	if old.live {
-		if cur, ok := p.pos[old.line]; ok && cur == p.head {
-			delete(p.pos, old.line)
-		}
+		p.removeIfSlot(old.line, int32(p.head))
 	}
 	p.ring[p.head] = predEntry{line: line, index: idx, issued: issued, live: true}
-	p.pos[line] = p.head
-	p.head = (p.head + 1) % len(p.ring)
+	p.store(line, int32(p.head))
+	p.head++
+	if p.head == len(p.ring) {
+		p.head = 0
+	}
 }
 
 // consume looks up and removes the newest prediction of line, returning
 // whether one existed, whether it was issued, and its depth in accesses.
 func (p *predictionLog) consume(line memmodel.Line, nowIdx uint64) (predicted, issued bool, depth int) {
-	slot, ok := p.pos[line]
-	if !ok {
+	slot := p.lookup(line)
+	if slot == predNoSlot {
 		return false, false, 0
 	}
 	e := &p.ring[slot]
 	if !e.live || e.line != line {
-		delete(p.pos, line)
+		p.remove(line)
 		return false, false, 0
 	}
 	e.live = false
-	delete(p.pos, line)
+	p.remove(line)
 	return true, e.issued, int(nowIdx - e.index)
 }
