@@ -11,7 +11,7 @@
 GO ?= go
 BENCH_N ?= 4
 
-.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard obs-smoke serve-smoke check clean
+.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard obs-smoke serve-smoke loadgen-smoke check clean
 
 all: build
 
@@ -92,7 +92,17 @@ serve-smoke:
 	$(GO) test -race -count=1 -run '^TestSigtermDrainWarmStart$$' ./cmd/prefetchd
 	$(GO) test -race -count=1 -run '^TestChaos' ./internal/serve/client
 
-check: vet build race fuzz bench-smoke overhead-guard obs-smoke serve-smoke
+# loadgen-smoke drives the serving-path observability loop end to end,
+# race enabled (DESIGN.md §16): a closed-loop load-generator run against
+# an instrumented in-process daemon must produce a validating
+# LOADGEN_<n>.json whose client and server views agree (every
+# serve_*_latency histogram count equals serve_decisions_total), plus the
+# alloc guard pinning the disabled/unsampled serve tracer at 0 allocs/op.
+loadgen-smoke:
+	$(GO) test -race -count=1 -run '^TestLoadgenSmoke$$' ./cmd/loadgen
+	$(GO) test -count=1 -run '^TestTracerDisabledZeroAlloc$$' ./internal/serve
+
+check: vet build race fuzz bench-smoke overhead-guard obs-smoke serve-smoke loadgen-smoke
 
 clean:
 	rm -f .bench-smoke.json .overhead-guard.txt

@@ -13,11 +13,18 @@
 //	inspect -decisions results/obs/list__context.decisions.jsonl
 //	inspect spans sweep.trace.json                             # -spans file summary
 //	inspect spans -top 20 sweep.trace.json
+//	inspect serve LOADGEN_1.json                               # load-test summary
+//	inspect serve LOADGEN_1.json LOADGEN_2.json                # compare two runs
 //
 // The spans subcommand renders a span file recorded with a command's -spans
 // flag (the same Chrome trace-event JSON Perfetto loads): per-cell phase
 // timings (decode, queue-wait, warmup, measured), the slowest cells, and
-// worker-lane utilization.
+// worker-lane utilization. Span files from prefetchd get the serving-path
+// breakdown instead (decode, queue-wait, decide, write per request).
+//
+// The serve subcommand renders LOADGEN_<n>.json artifacts from cmd/loadgen:
+// achieved throughput, client latency percentiles, degradation rates, and
+// the daemon-side scrape; with two artifacts it prints a delta table.
 //
 // Exit codes follow the harness contract: 0 ok, 1 the artifact or trace
 // is missing/corrupt, 2 usage error.
@@ -45,6 +52,9 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
 func run(args []string, stdout io.Writer) int {
 	if len(args) > 0 && args[0] == "spans" {
 		return runSpans(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
 	var (

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"semloc/internal/harness"
+	"semloc/internal/loadreport"
+	"semloc/internal/obs"
+)
+
+// writeLoadReport writes a small, valid LOADGEN artifact.
+func writeLoadReport(t *testing.T, name string, mutate func(*loadreport.Report)) string {
+	t.Helper()
+	rep := &loadreport.Report{
+		Loadgen: 1, Schema: loadreport.Schema,
+		Workload: "list", Scale: 0.1, Seed: 1,
+		Sessions: 4, DurationNS: int64(10 * time.Second),
+		GoVersion: "go1.x", GOOS: "linux", GOARCH: "amd64",
+		Decisions: 10000, Degraded: 20, Replayed: 3,
+		AchievedRate: 1000, DegradedRate: 0.002,
+		Latency: loadreport.Percentiles{
+			P50NS: 80_000, P95NS: 210_000, P99NS: 480_000, P999NS: 1_200_000,
+		},
+		Server: &loadreport.ServerScrape{
+			DecisionsTotal: 9977, DegradedTotal: 20, ReplayedTotal: 3,
+			LatencyCounts: map[string]uint64{
+				"serve_decode_latency": 9977, "serve_queue_wait_latency": 9977,
+				"serve_decide_latency": 9977, "serve_write_latency": 9977,
+				"serve_frame_latency": 9977,
+			},
+			FrameLatencySumNS: 9977 * 90_000,
+		},
+	}
+	if mutate != nil {
+		mutate(rep)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := loadreport.WriteAndVerify(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInspectServeSingle(t *testing.T) {
+	path := writeLoadReport(t, "LOADGEN_1.json", nil)
+	var out bytes.Buffer
+	if code := run([]string{"serve", path}, &out); code != harness.ExitOK {
+		t.Fatalf("inspect serve exited %d:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"workload list", "4 sessions", "closed loop",
+		"decisions 10000 (1000.0/s)", "degraded 20 (0.20%)",
+		"p50 80µs", "p99 480µs", "p99.9 1.2ms",
+		"server scrape: decisions 9977",
+		"mean frame latency 90µs", "5 histograms",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("serve output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestInspectServeCompare(t *testing.T) {
+	a := writeLoadReport(t, "LOADGEN_1.json", nil)
+	b := writeLoadReport(t, "LOADGEN_2.json", func(r *loadreport.Report) {
+		r.Loadgen = 2
+		r.AchievedRate = 1200
+		r.Latency.P99NS = 600_000 // +25% over A's 480µs
+	})
+	var out bytes.Buffer
+	if code := run([]string{"serve", a, b}, &out); code != harness.ExitOK {
+		t.Fatalf("inspect serve compare exited %d:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"load-test comparison",
+		"achieved rate", "+20.0%", // 1000 → 1200
+		"latency p99", "+25.0%", // 480µs → 600µs
+		"server mean frame",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("comparison missing %q:\n%s", want, got)
+		}
+	}
+	// Identical configs: no unlike-runs warning.
+	if strings.Contains(got, "warning") {
+		t.Errorf("spurious config warning for identical configs:\n%s", got)
+	}
+
+	// Unlike configs warn.
+	c := writeLoadReport(t, "LOADGEN_3.json", func(r *loadreport.Report) {
+		r.Sessions = 8
+	})
+	out.Reset()
+	if code := run([]string{"serve", a, c}, &out); code != harness.ExitOK {
+		t.Fatalf("inspect serve compare exited %d", code)
+	}
+	if !strings.Contains(out.String(), "warning: run configurations differ") {
+		t.Errorf("no warning comparing 4-session vs 8-session runs:\n%s", out.String())
+	}
+}
+
+func TestInspectServeErrors(t *testing.T) {
+	good := writeLoadReport(t, "LOADGEN_1.json", nil)
+	if code := run([]string{"serve"}, new(bytes.Buffer)); code != harness.ExitUsage {
+		t.Errorf("no file exited %d, want usage", code)
+	}
+	if code := run([]string{"serve", good, good, good}, new(bytes.Buffer)); code != harness.ExitUsage {
+		t.Errorf("three files exited %d, want usage", code)
+	}
+	if code := run([]string{"serve", "-q", filepath.Join(t.TempDir(), "nope.json")}, new(bytes.Buffer)); code != harness.ExitRunFailed {
+		t.Errorf("missing file exited %d, want run-failed", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"loadgen":1,"schema":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"serve", "-q", bad}, new(bytes.Buffer)); code != harness.ExitRunFailed {
+		t.Errorf("invalid artifact exited %d, want run-failed", code)
+	}
+}
+
+// TestInspectSpansServeFile: a span file holding prefetchd request spans
+// renders the serving-path stage breakdown, not simulation phases.
+func TestInspectSpansServeFile(t *testing.T) {
+	rec := obs.NewSpanRecorder()
+	us := func(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+	for i, dur := range []int{120, 450, 90} {
+		start := us(1000 * i)
+		rec.Add(obs.Span{
+			Cat: obs.CatServe, Workload: "sess-a", Point: i + 1,
+			Start: start, Dur: us(dur),
+			Phases: []obs.Phase{
+				{Name: obs.PhaseDecode, Start: start, Dur: us(dur / 10)},
+				{Name: obs.PhaseQueueWait, Start: start + us(dur/10), Dur: us(dur / 10)},
+				{Name: obs.PhaseDecide, Start: start + us(2*dur/10), Dur: us(7 * dur / 10)},
+				{Name: obs.PhaseWrite, Start: start + us(9*dur/10), Dur: us(dur / 10)},
+			},
+		})
+	}
+	path := filepath.Join(t.TempDir(), "serve.trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if code := run([]string{"spans", path}, &out); code != harness.ExitOK {
+		t.Fatalf("inspect spans on serve file exited %d:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"3 sampled request spans", "1 session(s)",
+		"stage breakdown", "decide", "write",
+		"slowest 3 sampled requests", "sess-a",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("serve-span output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "warmup") || strings.Contains(got, "worker lanes") {
+		t.Errorf("serve-span view leaked simulation phases:\n%s", got)
+	}
+	// Sorted by duration: the 450µs request (seq 2) leads the table.
+	tbl := got[strings.Index(got, "slowest"):]
+	first := strings.Index(tbl, "450µs")
+	second := strings.Index(tbl, "120µs")
+	if first < 0 || second < 0 || first > second {
+		t.Errorf("slowest-requests table not sorted by duration:\n%s", got)
+	}
+}

@@ -62,7 +62,7 @@ func phaseDur(s *obs.Span, name string) time.Duration {
 }
 
 func renderSpans(spans []obs.Span, path string, top int, w io.Writer) {
-	var runs []obs.Span
+	var runs, serves []obs.Span
 	var traceGen, wall, busy time.Duration
 	traces, failed := 0, 0
 	for _, s := range spans {
@@ -74,12 +74,20 @@ func renderSpans(spans []obs.Span, path string, top int, w io.Writer) {
 		case obs.CatTrace:
 			traces++
 			traceGen += s.Dur
+		case obs.CatServe:
+			serves = append(serves, s)
 		default:
 			runs = append(runs, s)
 			if s.Err {
 				failed++
 			}
 		}
+	}
+	// A prefetchd span file holds per-request serving spans, not
+	// simulation cells — render the serving-path view instead.
+	if len(serves) > 0 && len(runs) == 0 {
+		renderServeSpans(serves, path, wall, top, w)
+		return
 	}
 	lanes := obs.Lanes(spans)
 	workers := 0
@@ -133,6 +141,58 @@ func renderSpans(spans []obs.Span, path string, top int, w io.Writer) {
 		st.AddRow(s.Cell(), ms(s.Dur), ms(phaseDur(s, obs.PhaseDecode)),
 			ms(phaseDur(s, obs.PhaseQueueWait)), ms(phaseDur(s, obs.PhaseWarmup)),
 			ms(phaseDur(s, obs.PhaseMeasured)), s.Err)
+	}
+	fmt.Fprintln(w)
+	st.Render(w)
+}
+
+// renderServeSpans is the serving-path view of a span file: sampled
+// per-request spans from prefetchd, with the decode / queue-wait /
+// decide / write stage breakdown instead of simulation phases.
+func renderServeSpans(serves []obs.Span, path string, wall time.Duration, top int, w io.Writer) {
+	fmt.Fprintf(w, "span file %s: %d sampled request spans across %v\n",
+		path, len(serves), wall.Round(time.Millisecond))
+
+	var decode, queue, decide, write, total time.Duration
+	sessions := map[string]int{}
+	for i := range serves {
+		s := &serves[i]
+		total += s.Dur
+		decode += phaseDur(s, obs.PhaseDecode)
+		queue += phaseDur(s, obs.PhaseQueueWait)
+		decide += phaseDur(s, obs.PhaseDecide)
+		write += phaseDur(s, obs.PhaseWrite)
+		sessions[s.Workload]++
+	}
+	fmt.Fprintf(w, "  %d session(s), mean sampled request %v\n",
+		len(sessions), (total / time.Duration(len(serves))).Round(time.Microsecond))
+	pct := func(d time.Duration) string {
+		if total == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("%.0f%%", 100*d.Seconds()/total.Seconds())
+	}
+	us := func(d time.Duration) string { return d.Round(time.Microsecond).String() }
+	bt := stats.NewTable("stage breakdown (totals across sampled requests)",
+		"stage", "total", "of request time")
+	bt.AddRow("decode", us(decode), pct(decode))
+	bt.AddRow("queue-wait", us(queue), pct(queue))
+	bt.AddRow("decide", us(decide), pct(decide))
+	bt.AddRow("write", us(write), pct(write))
+	fmt.Fprintln(w)
+	bt.Render(w)
+
+	sort.Slice(serves, func(i, j int) bool { return serves[i].Dur > serves[j].Dur })
+	if top > len(serves) {
+		top = len(serves)
+	}
+	st := stats.NewTable(fmt.Sprintf("slowest %d sampled requests", top),
+		"session", "seq", "total", "decode", "queue", "decide", "write")
+	for i := 0; i < top; i++ {
+		s := &serves[i]
+		st.AddRow(s.Workload, s.Point, us(s.Dur), us(phaseDur(s, obs.PhaseDecode)),
+			us(phaseDur(s, obs.PhaseQueueWait)), us(phaseDur(s, obs.PhaseDecide)),
+			us(phaseDur(s, obs.PhaseWrite)))
 	}
 	fmt.Fprintln(w)
 	st.Render(w)

@@ -20,9 +20,17 @@
 //     connection.
 //
 // Observability: -obs-listen serves /metrics (Prometheus), /healthz,
-// /readyz and pprof. Readiness flips only after the snapshot restore and
-// the serving socket are both up, so a load balancer never routes to a
-// daemon still warming state.
+// /readyz, /debug/serve (per-session serving stats as JSON) and pprof.
+// The serving path is always instrumented: per-frame stage latency
+// histograms (serve_decode/queue_wait/decide/write/frame_latency) cost a
+// few clock reads per decision. -spans samples one request span per
+// -trace-sample decisions into a Chrome-trace file written on drain
+// (render with `inspect spans`); -slow-threshold logs any request slower
+// than the threshold with its stage breakdown. Readiness flips up only
+// after the snapshot restore and the serving socket are both up, so a
+// load balancer never routes to a daemon still warming state — and flips
+// down at the first drain signal, -drain-grace before the listener
+// closes, so probes see 503 while in-flight streams finish.
 //
 // Exit codes: 0 clean drain (including signal-initiated), 1 runtime or
 // shutdown failure (e.g. the final snapshot could not be written),
@@ -32,13 +40,16 @@
 //
 //	prefetchd -listen 127.0.0.1:7077 -snapshot /var/tmp/prefetchd.snap
 //	prefetchd -listen 127.0.0.1:0 -addr-file /tmp/prefetchd.addr -q
+//	prefetchd -obs-listen :0 -spans /tmp/serve-spans.json -slow-threshold 5ms
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +74,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inbox        = fs.Int("inbox", 64, "per-session inbox depth before accesses shed to the degraded fallback")
 		maxInflight  = fs.Int("max-inflight", 1024, "global cap on accepted-but-unanswered accesses before busy replies")
 		addrFile     = fs.String("addr-file", "", "write the bound serving address to this file once listening")
+		obsAddrFile  = fs.String("obs-addr-file", "", "write the bound observability address to this file (with -obs-listen)")
+		spansOut     = fs.String("spans", "", "write sampled per-request spans to this Chrome-trace file on drain")
+		traceSample  = fs.Int("trace-sample", 256, "record one request span per N decisions (with -spans)")
+		slowThresh   = fs.Duration("slow-threshold", 0, "log requests slower than this end-to-end, with stage breakdown (0 disables)")
+		drainGrace   = fs.Duration("drain-grace", 0, "after a drain signal, hold /readyz at 503 this long before closing the listener")
 		quiet        = fs.Bool("q", false, "suppress progress logging (errors still print)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +91,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	logger := obs.NewLogger(stderr, "prefetchd", *quiet, false)
 
 	reg := obs.NewRegistry()
+	// The daemon always carries the stage-latency histograms (the cost is
+	// a few clock reads per decision); spans only when -spans names a file.
+	var spans *obs.SpanRecorder
+	if *spansOut != "" {
+		spans = obs.NewSpanRecorder()
+	}
+	trace := &serve.TraceConfig{
+		Spans:         spans,
+		SampleEvery:   *traceSample,
+		SlowThreshold: *slowThresh,
+	}
 	srv, err := serve.NewServer(serve.Config{
 		Listen:           *listen,
 		SessionTTL:       *sessionTTL,
@@ -84,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SnapshotInterval: *snapInterval,
 		Shards:           0, // default
 		Reg:              reg,
+		Trace:            trace,
 		Logf: func(format string, a ...any) {
 			logger.Info(fmt.Sprintf(format, a...))
 		},
@@ -103,6 +131,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return harness.ExitUsage
 		}
 		defer obsSrv.Close()
+		// Per-session serving stats, one JSON array ordered by session id.
+		obsSrv.Handle("/debug/serve", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(srv.SessionStatsAll())
+		}))
+		if *obsAddrFile != "" {
+			if err := os.WriteFile(*obsAddrFile, []byte(obsSrv.Addr()+"\n"), 0o644); err != nil {
+				logger.Error("writing -obs-addr-file failed", "err", err)
+				return harness.ExitUsage
+			}
+		}
 		logger.Info("observability endpoint up", "addr", obsSrv.Addr(),
 			"metrics", fmt.Sprintf("http://%s/metrics", obsSrv.Addr()))
 	}
@@ -132,13 +173,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stop() // a second signal kills immediately instead of re-queueing
 
 	logger.Info("signal received; draining")
+	// Readiness drops first: a load balancer probing /readyz sees 503 and
+	// stops routing while the daemon is still serving in-flight streams.
+	// -drain-grace holds that window open (one or two probe periods in a
+	// real deployment) before the listener actually closes.
 	if obsSrv != nil {
 		obsSrv.SetReady(false)
+	}
+	// stop() already ran, so a second signal kills the process outright
+	// rather than waiting out the grace sleep.
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
 	}
 	if err := srv.Close(); err != nil {
 		logger.Error("drain failed", "err", err)
 		return harness.ExitRunFailed
 	}
+	if spans != nil {
+		if err := writeSpans(*spansOut, spans); err != nil {
+			logger.Error("writing -spans failed", "err", err)
+			return harness.ExitRunFailed
+		}
+		logger.Info("wrote request spans", "file", *spansOut, "spans", len(spans.Spans()))
+	}
 	logger.Info("drained cleanly", "snapshot", *snapshot)
 	return harness.ExitOK
+}
+
+// writeSpans renders the sampled request spans as Chrome trace-event JSON
+// (the format `inspect spans` reads).
+func writeSpans(path string, spans *obs.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := spans.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

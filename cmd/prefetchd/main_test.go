@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -10,6 +14,7 @@ import (
 	"time"
 
 	"semloc/internal/core"
+	"semloc/internal/obs"
 	"semloc/internal/serve"
 	"semloc/internal/serve/client"
 )
@@ -127,6 +132,160 @@ func TestSigtermDrainWarmStart(t *testing.T) {
 		}
 		if !serve.SameDecision(got, want) {
 			t.Fatalf("post-restart seq %d diverged from uninterrupted reference", i)
+		}
+	}
+}
+
+// TestObservabilityAndDrainReadiness exercises the daemon's observability
+// surface end to end at the process level: the serve_*_latency histograms
+// on /metrics (whose counts must equal serve_decisions_total), the
+// /debug/serve per-session stats endpoint, the sampled-span file written
+// on drain — and the readiness contract: /readyz serves 200 while up,
+// then 503 during the -drain-grace window after SIGTERM, before the
+// process exits 0.
+func TestObservabilityAndDrainReadiness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	obsAddrFile := filepath.Join(dir, "obs-addr")
+	spansFile := filepath.Join(dir, "spans.json")
+
+	cmd, addr := startDaemon(t, bin,
+		"-obs-listen", "127.0.0.1:0", "-obs-addr-file", obsAddrFile,
+		"-spans", spansFile, "-trace-sample", "1",
+		"-drain-grace", "2s")
+
+	var obsAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for obsAddr == "" {
+		if b, err := os.ReadFile(obsAddrFile); err == nil && len(b) > 0 {
+			obsAddr = strings.TrimSpace(string(b))
+		} else if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("daemon never wrote its obs addr file")
+		} else {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + obsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz while serving: %d, want 200", code)
+	}
+
+	const n = 64
+	c, err := client.Dial(client.Config{Addr: client.FixedAddr(addr), Session: "obs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if _, err := c.Decide(&serve.Frame{Type: serve.FrameAccess, Seq: i,
+			PC: 0x400000, Addr: 0x300000 + (i%128)*64}); err != nil {
+			t.Fatalf("seq %d: %v", i, err)
+		}
+	}
+
+	// /metrics: every stage histogram's count equals serve_decisions_total.
+	// The worker observes after writing the reply, so the final frame's
+	// observation can trail the client's receive by a moment — poll.
+	names := []string{
+		serve.MetricDecodeLatency, serve.MetricQueueWaitLatency,
+		serve.MetricDecideLatency, serve.MetricWriteLatency, serve.MetricFrameLatency,
+	}
+	var metrics string
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_, metrics = get("/metrics")
+		settled := strings.Contains(metrics, fmt.Sprintf("serve_decisions_total %d", n))
+		for _, name := range names {
+			settled = settled && strings.Contains(metrics, fmt.Sprintf("%s_count %d", name, n))
+		}
+		if settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics never settled at %d decisions with matching histogram counts:\n%s", n, metrics)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// /debug/serve: our session's stats as JSON.
+	_, body := get("/debug/serve")
+	var stats []serve.SessionStats
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("/debug/serve not JSON: %v\n%s", err, body)
+	}
+	if len(stats) != 1 || stats[0].ID != "obs" || stats[0].Decisions != n || stats[0].LastSeq != n {
+		t.Fatalf("/debug/serve stats: %+v", stats)
+	}
+	c.Close()
+
+	// SIGTERM: readiness must flip to 503 during the drain-grace window,
+	// while the process is still alive.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	sawDraining := false
+	deadline = time.Now().Add(5 * time.Second)
+	for !sawDraining && time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + obsAddr + "/readyz")
+		if err != nil {
+			break // obs endpoint already down: drain finished too fast
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			sawDraining = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Fatal("never observed /readyz 503 during the drain-grace window")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not drain within 15s of SIGTERM")
+	}
+
+	// The span file written on drain holds serve-category request spans
+	// with the four-stage breakdown — the format `inspect spans` renders.
+	f, err := os.Open(spansFile)
+	if err != nil {
+		t.Fatalf("no span file after drain: %v", err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != n { // -trace-sample 1: every decision sampled
+		t.Fatalf("%d spans in file, want %d", len(spans), n)
+	}
+	for _, sp := range spans {
+		if sp.Cat != obs.CatServe || sp.Workload != "obs" || len(sp.Phases) != 4 {
+			t.Fatalf("bad serve span in file: %+v", sp)
 		}
 	}
 }

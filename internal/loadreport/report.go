@@ -1,0 +1,162 @@
+// Package loadreport defines the LOADGEN_<n>.json artifact cmd/loadgen
+// writes and cmd/inspect's `serve` subcommand renders: one saturation or
+// fixed-rate run against a prefetchd daemon, with client-observed latency
+// percentiles, achieved throughput, degradation rates, and (when the
+// daemon's observability endpoint was scraped) the server-side latency
+// histogram counts. The schema follows the BENCH_<n>.json conventions:
+// versioned, validated after write by re-reading, and comparable across
+// runs.
+package loadreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema is the current artifact schema version.
+const Schema = 1
+
+// Percentiles is a latency summary in nanoseconds, estimated from the
+// load generator's log-spaced histogram by linear interpolation
+// (obs.Histogram.Quantile); values are "at least" when the tail escapes
+// the highest finite bucket.
+type Percentiles struct {
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+}
+
+// ServerScrape is the server-side view captured from the daemon's
+// /debug/vars endpoint after the run: the serving counters plus the count
+// of every serve_*_latency histogram. The count-match invariant — every
+// latency histogram count equals decisions_total — is part of Validate.
+type ServerScrape struct {
+	DecisionsTotal uint64 `json:"decisions_total"`
+	DegradedTotal  uint64 `json:"degraded_total"`
+	ReplayedTotal  uint64 `json:"replayed_total"`
+	BusyTotal      uint64 `json:"busy_total"`
+	// LatencyCounts maps each serve_*_latency histogram name to its
+	// observation count.
+	LatencyCounts map[string]uint64 `json:"latency_counts"`
+	// FrameLatencySumNS is the serve_frame_latency histogram's sum — with
+	// DecisionsTotal it gives the server-side mean end-to-end latency.
+	FrameLatencySumNS int64 `json:"frame_latency_sum_ns"`
+}
+
+// Report is the LOADGEN_<n>.json artifact.
+type Report struct {
+	Loadgen int `json:"loadgen"`
+	Schema  int `json:"schema"`
+
+	// Workload/Scale/Seed describe a generated access stream; TraceFile a
+	// recorded one (exactly one of Workload/TraceFile is set).
+	Workload  string  `json:"workload,omitempty"`
+	TraceFile string  `json:"trace_file,omitempty"`
+	Scale     float64 `json:"scale,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+
+	Sessions int `json:"sessions"`
+	// TargetRate is the requested total decisions/sec across all sessions;
+	// 0 means closed-loop (each session sends as fast as the daemon
+	// answers — the saturation probe).
+	TargetRate float64 `json:"target_rate,omitempty"`
+	// OpenLoop records whether latency was measured from the scheduled
+	// send time (coordinated-omission correction) rather than the actual
+	// send time. True exactly when TargetRate > 0.
+	OpenLoop   bool  `json:"open_loop"`
+	DurationNS int64 `json:"duration_ns"`
+
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	// Client-observed outcome.
+	Decisions    uint64      `json:"decisions"`
+	Degraded     uint64      `json:"degraded"`
+	Replayed     uint64      `json:"replayed"`
+	Errors       uint64      `json:"errors"`
+	Busy         uint64      `json:"busy"`
+	Retries      uint64      `json:"retries"`
+	Reconnects   uint64      `json:"reconnects"`
+	AchievedRate float64     `json:"achieved_rate"` // decisions/sec
+	DegradedRate float64     `json:"degraded_rate"` // Degraded / Decisions
+	BusyRate     float64     `json:"busy_rate"`     // Busy / Decisions
+	Latency      Percentiles `json:"latency"`
+
+	// Server is the daemon-side scrape (nil when -metrics wasn't given).
+	Server *ServerScrape `json:"server,omitempty"`
+}
+
+// Validate sanity-checks a report: the run did work, the percentile
+// ladder is ordered, and — when the server was scraped — every latency
+// histogram count equals serve_decisions_total.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("loadreport: unknown schema %d", r.Schema)
+	}
+	if r.Sessions <= 0 {
+		return fmt.Errorf("loadreport: %d sessions", r.Sessions)
+	}
+	if (r.Workload == "") == (r.TraceFile == "") {
+		return fmt.Errorf("loadreport: exactly one of workload and trace_file must be set")
+	}
+	if r.Decisions == 0 || r.DurationNS <= 0 || r.AchievedRate <= 0 {
+		return fmt.Errorf("loadreport: run measured no work (decisions %d, duration %dns, rate %g)",
+			r.Decisions, r.DurationNS, r.AchievedRate)
+	}
+	p := r.Latency
+	if p.P50NS <= 0 || p.P50NS > p.P95NS || p.P95NS > p.P99NS || p.P99NS > p.P999NS {
+		return fmt.Errorf("loadreport: percentile ladder out of order: %+v", p)
+	}
+	if r.OpenLoop != (r.TargetRate > 0) {
+		return fmt.Errorf("loadreport: open_loop=%v inconsistent with target_rate=%g", r.OpenLoop, r.TargetRate)
+	}
+	if s := r.Server; s != nil {
+		if s.DecisionsTotal == 0 {
+			return fmt.Errorf("loadreport: server scrape saw no decisions")
+		}
+		if len(s.LatencyCounts) == 0 {
+			return fmt.Errorf("loadreport: server scrape holds no latency histograms")
+		}
+		for name, count := range s.LatencyCounts {
+			if count != s.DecisionsTotal {
+				return fmt.Errorf("loadreport: %s count %d != serve_decisions_total %d (count-match invariant)",
+					name, count, s.DecisionsTotal)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteAndVerify marshals the report to path, re-reads and re-validates
+// it, so a truncated or malformed artifact fails loudly.
+func WriteAndVerify(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	check, err := Load(path)
+	if err != nil {
+		return err
+	}
+	return check.Validate()
+}
+
+// Load reads and parses (but does not Validate) an artifact.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("loadreport: %s is not well-formed JSON: %w", path, err)
+	}
+	return &r, nil
+}

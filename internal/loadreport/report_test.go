@@ -1,0 +1,93 @@
+package loadreport
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func valid() *Report {
+	return &Report{
+		Loadgen: 1, Schema: Schema,
+		Workload: "list", Scale: 0.1, Seed: 1,
+		Sessions: 2, DurationNS: int64(time.Second),
+		Decisions: 100, AchievedRate: 100,
+		Latency: Percentiles{P50NS: 10, P95NS: 20, P99NS: 30, P999NS: 40},
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"bad schema", func(r *Report) { r.Schema = 99 }, "schema"},
+		{"no sessions", func(r *Report) { r.Sessions = 0 }, "sessions"},
+		{"both sources", func(r *Report) { r.TraceFile = "x.trace" }, "exactly one"},
+		{"neither source", func(r *Report) { r.Workload = "" }, "exactly one"},
+		{"no work", func(r *Report) { r.Decisions = 0 }, "no work"},
+		{"zero p50", func(r *Report) { r.Latency.P50NS = 0 }, "percentile"},
+		{"inverted ladder", func(r *Report) { r.Latency.P99NS = 5 }, "percentile"},
+		{"open-loop mismatch", func(r *Report) { r.OpenLoop = true }, "open_loop"},
+		{"rate without open-loop", func(r *Report) { r.TargetRate = 10 }, "open_loop"},
+		{"empty scrape", func(r *Report) { r.Server = &ServerScrape{} }, "no decisions"},
+		{"scrape without histograms", func(r *Report) {
+			r.Server = &ServerScrape{DecisionsTotal: 100}
+		}, "no latency histograms"},
+		{"count-match violation", func(r *Report) {
+			r.Server = &ServerScrape{DecisionsTotal: 100,
+				LatencyCounts: map[string]uint64{"serve_decide_latency": 99}}
+		}, "count-match"},
+	}
+	for _, tc := range cases {
+		r := valid()
+		tc.mutate(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a bad report", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("baseline report invalid: %v", err)
+	}
+}
+
+func TestWriteAndVerifyRoundTrip(t *testing.T) {
+	r := valid()
+	r.Server = &ServerScrape{DecisionsTotal: 98,
+		LatencyCounts:     map[string]uint64{"serve_frame_latency": 98},
+		FrameLatencySumNS: 98_000}
+	path := filepath.Join(t.TempDir(), "LOADGEN_1.json")
+	if err := WriteAndVerify(r, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Decisions != r.Decisions || got.Server.DecisionsTotal != 98 ||
+		got.Latency != r.Latency {
+		t.Fatalf("round trip drifted: %+v", got)
+	}
+
+	// WriteAndVerify must refuse to leave an invalid artifact standing as
+	// valid: a count-match violation fails after the re-read.
+	r.Server.LatencyCounts["serve_frame_latency"] = 1
+	if err := WriteAndVerify(r, path); err == nil {
+		t.Fatal("WriteAndVerify accepted a count-match violation")
+	}
+
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{truncated"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("Load of malformed JSON succeeded")
+	}
+}

@@ -44,6 +44,24 @@ var DefaultDurationBuckets = []float64{
 	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 480,
 }
 
+// DefaultLatencyBuckets are the bucket bounds (seconds) for serving-path
+// latencies: log-spaced doubling from 250ns to ~2s. A learner decide is
+// hundreds of nanoseconds, a cross-host round trip hundreds of
+// microseconds, a retried request tens of milliseconds — the doubling grid
+// keeps relative error bounded (~±50% within a bucket, tightened by
+// Quantile's interpolation) across all six decades.
+var DefaultLatencyBuckets = latencyBuckets()
+
+func latencyBuckets() []float64 {
+	out := make([]float64, 24)
+	v := 250e-9
+	for i := range out {
+		out[i] = v
+		v *= 2
+	}
+	return out
+}
+
 // Counter is a monotonically increasing metric. The hot path is one atomic
 // add; a nil *Counter (the disabled registry) reduces every method to a
 // branch-on-nil, mirroring the package's nil-*Collector contract.
@@ -154,6 +172,56 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts by
+// linear interpolation inside the bucket where the rank falls: the bucket's
+// observations are assumed uniform between its lower and upper bound (the
+// first bucket interpolates from 0). Observations in the +Inf overflow
+// bucket cannot be interpolated, so ranks landing there return the highest
+// finite bound — a deliberate underestimate that callers should read as
+// "at least". Empty and nil histograms return 0.
+//
+// The bucket counts are read atomically but not as one snapshot, so a
+// quantile taken concurrently with Observe calls is approximate in the same
+// way any scrape is; it never panics or returns a value outside the bucket
+// range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Walk the buckets once, accumulating; total comes from the walked
+	// counts (not h.count) so rank and counts are mutually consistent.
+	n := len(h.bounds)
+	counts := make([]uint64, n+1)
+	var total uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := 0; i < n; i++ {
+		c := float64(counts[i])
+		if cum+c >= rank && c > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (rank-cum)/c*(h.bounds[i]-lower)
+		}
+		cum += c
+	}
+	return h.bounds[n-1]
 }
 
 // Registry is a lock-cheap metric namespace: registration takes a mutex

@@ -166,3 +166,83 @@ func TestRegistryConcurrentUse(t *testing.T) {
 		t.Errorf("histogram count = %d, want 8000", got)
 	}
 }
+
+func TestHistogramQuantilePinnedDistributions(t *testing.T) {
+	reg := NewRegistry()
+
+	// Uniform 1..100 into bounds {10,20,...,100}: every bucket holds
+	// exactly 10 observations, so interpolation reproduces the quantile of
+	// the continuous uniform distribution exactly.
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	u := reg.Histogram("uniform", "", bounds)
+	for i := 1; i <= 100; i++ {
+		u.Observe(float64(i))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.95, 95}, {0.99, 99}, {0.1, 10}, {1, 100},
+	} {
+		if got := u.Quantile(tc.q); got != tc.want {
+			t.Errorf("uniform Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+
+	// A point mass entirely inside one bucket: every quantile interpolates
+	// within (40,50] — pinned to the exact interpolated positions.
+	p := reg.Histogram("point", "", bounds)
+	for i := 0; i < 8; i++ {
+		p.Observe(45)
+	}
+	if got := p.Quantile(0.5); got != 45 {
+		t.Errorf("point-mass p50 = %g, want 45 (midpoint of the (40,50] bucket)", got)
+	}
+	if got := p.Quantile(0.25); got != 42.5 {
+		t.Errorf("point-mass p25 = %g, want 42.5", got)
+	}
+
+	// Ranks landing in the +Inf overflow bucket clamp to the last finite
+	// bound ("at least 100").
+	o := reg.Histogram("overflow", "", bounds)
+	o.Observe(5)
+	o.Observe(1e6)
+	o.Observe(1e6)
+	if got := o.Quantile(0.99); got != 100 {
+		t.Errorf("overflow p99 = %g, want clamp to 100", got)
+	}
+
+	// First bucket interpolates from 0.
+	f := reg.Histogram("first", "", bounds)
+	for i := 0; i < 10; i++ {
+		f.Observe(3)
+	}
+	if got := f.Quantile(0.5); got != 5 {
+		t.Errorf("first-bucket p50 = %g, want 5 (midpoint of (0,10])", got)
+	}
+
+	// Empty and nil histograms are zero, never a panic.
+	e := reg.Histogram("empty", "", bounds)
+	if e.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile must be 0")
+	}
+}
+
+func TestDefaultLatencyBuckets(t *testing.T) {
+	b := DefaultLatencyBuckets
+	if len(b) != 24 {
+		t.Fatalf("latency buckets: %d bounds, want 24", len(b))
+	}
+	if b[0] != 250e-9 {
+		t.Errorf("first bound %g, want 250ns", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+	if b[len(b)-1] < 1 {
+		t.Errorf("last bound %g should cover multi-second retries", b[len(b)-1])
+	}
+}

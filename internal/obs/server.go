@@ -29,6 +29,7 @@ import (
 type Server struct {
 	ln    net.Listener
 	srv   *http.Server
+	mux   *http.ServeMux
 	reg   *Registry
 	ready atomic.Bool
 	done  chan struct{}
@@ -82,6 +83,7 @@ func Serve(listen string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		defer close(s.done)
@@ -112,6 +114,12 @@ func (s *Server) serveVars(w http.ResponseWriter, _ *http.Request) {
 
 // Addr returns the bound address (host:port), useful with ":0".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Handle registers an additional handler on the server's mux (e.g.
+// prefetchd's /debug/serve session-stats endpoint). http.ServeMux guards
+// registration with its own lock, so late registration is safe, but the
+// usual pattern is to register between Serve and the first request.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // SetReady flips the /readyz state (the commands mark ready once their
 // runner is constructed and jobs are submitted).

@@ -20,6 +20,14 @@ const (
 	PhaseMeasured  = "measured"
 )
 
+// Serving-path phase names recorded by prefetchd's per-request spans
+// (internal/serve). PhaseDecode and PhaseQueueWait are shared: a serve span
+// reuses them for wire-frame parse time and inbox wait.
+const (
+	PhaseDecide = "decide"
+	PhaseWrite  = "write"
+)
+
 // Span categories.
 const (
 	// CatRun is a per-cell simulation span (one (workload, prefetcher,
@@ -27,6 +35,10 @@ const (
 	CatRun = "run"
 	// CatTrace is a trace-generation span inside the TraceCache.
 	CatTrace = "trace"
+	// CatServe is a sampled per-request serving span from prefetchd
+	// (decode → queue_wait → decide → write); Workload carries the session
+	// id and Point the request seq.
+	CatServe = "serve"
 )
 
 // Phase is one timed sub-interval of a span. Start is an offset from the
@@ -242,7 +254,7 @@ func ReadChromeTrace(r io.Reader) ([]Span, error) {
 		return int(v), true
 	}
 	for _, ev := range ct.TraceEvents {
-		if ev.Ph != "X" || (ev.Cat != CatRun && ev.Cat != CatTrace) {
+		if ev.Ph != "X" || (ev.Cat != CatRun && ev.Cat != CatTrace && ev.Cat != CatServe) {
 			continue
 		}
 		s := Span{
@@ -284,7 +296,7 @@ func ReadChromeTrace(r io.Reader) ([]Span, error) {
 		})
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("obs: span file holds no run or trace spans")
+		return nil, fmt.Errorf("obs: span file holds no run, trace or serve spans")
 	}
 	return out, nil
 }

@@ -161,3 +161,42 @@ func TestReadChromeTraceRejectsGarbage(t *testing.T) {
 		t.Error("a span-free file must be reported, not rendered as empty")
 	}
 }
+
+// TestChromeTraceServeSpanRoundTrip pins the serving-span shape: a sampled
+// prefetchd request (Cat "serve", Workload = session id, Point = seq) with
+// decode/queue_wait/decide/write phases must survive the file round trip so
+// "inspect spans" works on daemon runs.
+func TestChromeTraceServeSpanRoundTrip(t *testing.T) {
+	rec := NewSpanRecorder()
+	rec.Add(Span{
+		Cat: CatServe, Workload: "session-7", Prefetcher: "serve", Point: 42,
+		Start: time.Millisecond, Dur: 400 * time.Microsecond,
+		Phases: []Phase{
+			{Name: PhaseDecode, Start: time.Millisecond, Dur: 10 * time.Microsecond},
+			{Name: PhaseQueueWait, Start: time.Millisecond + 10*time.Microsecond, Dur: 50 * time.Microsecond},
+			{Name: PhaseDecide, Start: time.Millisecond + 60*time.Microsecond, Dur: 300 * time.Microsecond},
+			{Name: PhaseWrite, Start: time.Millisecond + 360*time.Microsecond, Dur: 40 * time.Microsecond},
+		},
+	})
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("round trip returned %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Cat != CatServe || s.Workload != "session-7" || s.Point != 42 {
+		t.Errorf("serve span identity lost: %+v", s)
+	}
+	if len(s.Phases) != 4 || s.Phases[2].Name != PhaseDecide || s.Phases[2].Dur != 300*time.Microsecond {
+		t.Errorf("serve span phases lost: %+v", s.Phases)
+	}
+	if s.Phases[3].Name != PhaseWrite {
+		t.Errorf("write phase lost: %+v", s.Phases)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"semloc/internal/core"
+	"semloc/internal/obs"
 	"semloc/internal/serve"
 )
 
@@ -186,16 +187,33 @@ func chaosClientConfig(p *chaosProxy, session string) Config {
 // TestChaosLossyTransport streams through a proxy that drops, duplicates
 // and delays frames in both directions. The retry/replay discipline must
 // deliver every decision, and every decision must match the
-// uninterrupted in-process reference bit-for-bit.
+// uninterrupted in-process reference bit-for-bit. Both sides run fully
+// instrumented (server tracer at sample-every-1 with a tiny slow
+// threshold, client metrics registry): tracing must never change a
+// decision, and under chaos the count invariant — every serve_*_latency
+// histogram count equals serve_decisions_total — must survive retries,
+// duplicates and replays.
 func TestChaosLossyTransport(t *testing.T) {
 	const n = 1200
 	want := referenceDecisions(t, n)
 
-	s := startDaemon(t, serve.Config{})
+	srvReg := obs.NewRegistry()
+	s := startDaemon(t, serve.Config{
+		Reg: srvReg,
+		Trace: &serve.TraceConfig{
+			Spans:         obs.NewSpanRecorder(),
+			SampleEvery:   1,
+			SlowThreshold: time.Nanosecond,
+			Logf:          func(string, ...any) {},
+		},
+	})
 	defer s.Close()
 	p := startProxy(t, s.Addr().String(), 25, 40, 15)
 
-	c, err := Dial(chaosClientConfig(p, "lossy"))
+	cliReg := obs.NewRegistry()
+	cfg := chaosClientConfig(p, "lossy")
+	cfg.Reg = cliReg
+	c, err := Dial(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,6 +235,33 @@ func TestChaosLossyTransport(t *testing.T) {
 	if p.dropped.Load() == 0 || p.duplicated.Load() == 0 {
 		t.Fatalf("proxy injected no faults (dropped %d, duplicated %d) — test proved nothing",
 			p.dropped.Load(), p.duplicated.Load())
+	}
+
+	// The count invariant under chaos: exactly one fresh decision per seq,
+	// so decisions_total == n and every latency histogram observed n times
+	// (replays and resends never observe).
+	decisions := srvReg.Counter("serve_decisions_total", "").Value()
+	if decisions != n {
+		t.Fatalf("decisions_total %d under chaos, want exactly %d", decisions, n)
+	}
+	for _, name := range []string{
+		serve.MetricDecodeLatency, serve.MetricQueueWaitLatency,
+		serve.MetricDecideLatency, serve.MetricWriteLatency, serve.MetricFrameLatency,
+	} {
+		if got := srvReg.Histogram(name, "", obs.DefaultLatencyBuckets).Count(); got != decisions {
+			t.Fatalf("%s count %d != serve_decisions_total %d", name, got, decisions)
+		}
+	}
+	// Client-side metrics agree with the exported int counters, and the
+	// RTT histogram saw every successful exchange.
+	if got := cliReg.Histogram(MetricClientRTT, "", obs.DefaultLatencyBuckets).Count(); got != n {
+		t.Fatalf("client RTT count %d, want %d", got, n)
+	}
+	if got := cliReg.Counter(MetricClientRetries, "").Value(); got != uint64(c.Retries) {
+		t.Fatalf("client_retries_total %d != Retries %d", got, c.Retries)
+	}
+	if got := cliReg.Counter(MetricClientReconnects, "").Value(); got != uint64(c.Reconnects) {
+		t.Fatalf("client_reconnects_total %d != Reconnects %d", got, c.Reconnects)
 	}
 	t.Logf("faults: dropped %d, duplicated %d, delayed %d; client retries %d, reconnects %d",
 		p.dropped.Load(), p.duplicated.Load(), p.delayed.Load(), c.Retries, c.Reconnects)
@@ -338,6 +383,31 @@ func TestChaosKillRestartWarmStart(t *testing.T) {
 	})
 	t.Logf("rewound %d time(s); client retries %d, reconnects %d; proxy dropped %d, duplicated %d",
 		replays, c.Retries, c.Reconnects, p.dropped.Load(), p.duplicated.Load())
+}
+
+// TestClientStats round-trips the stats frame through the retrying
+// client: the server-side session counters reflect the stream so far.
+func TestClientStats(t *testing.T) {
+	s := startDaemon(t, serve.Config{})
+	defer s.Close()
+	c, err := Dial(Config{Addr: FixedAddr(s.Addr().String()), Session: "st"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 10
+	for i := uint64(1); i <= n; i++ {
+		if _, err := c.Decide(accessFrame(i)); err != nil {
+			t.Fatalf("seq %d: %v", i, err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "st" || st.Decisions != n || st.LastSeq != n || !st.Attached {
+		t.Fatalf("session stats %+v", st)
+	}
 }
 
 func countFDs(t *testing.T) int {

@@ -13,7 +13,19 @@ import (
 	"net"
 	"time"
 
+	"semloc/internal/obs"
 	"semloc/internal/serve"
+)
+
+// Client-side metric names, registered when Config.Reg is set. The RTT
+// histogram observes one successful exchange (access written → matching
+// decision read, including any in-exchange busy waits) — the client's view
+// of serving latency, which the load generator scrapes for its artifact.
+const (
+	MetricClientRTT        = "client_rtt_seconds"
+	MetricClientRetries    = "client_retries_total"
+	MetricClientReconnects = "client_reconnects_total"
+	MetricClientBusy       = "client_busy_total"
 )
 
 // Config parameterizes a Client. Addr and Session are required.
@@ -38,6 +50,11 @@ type Config struct {
 	BackoffMax  time.Duration
 	// Seed drives the jitter RNG (deterministic tests).
 	Seed uint64
+
+	// Reg, when set, receives the client_* metrics (RTT histogram plus
+	// retry/reconnect/busy counters). Nil is the disabled configuration:
+	// no metric handles, no clock reads on the request path.
+	Reg *obs.Registry
 
 	Logf func(format string, args ...any)
 }
@@ -101,6 +118,13 @@ type Client struct {
 	Retries    int
 	Reconnects int
 	Busy       int
+
+	// Metric handles (nil when Config.Reg is nil; every method is a no-op
+	// then, and rtt==nil additionally gates the clock reads).
+	rtt         *obs.Histogram
+	retriesC    *obs.Counter
+	reconnectsC *obs.Counter
+	busyC       *obs.Counter
 }
 
 // Dial connects and performs the hello/welcome handshake, retrying with
@@ -112,6 +136,12 @@ func Dial(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("client: Addr and Session are required")
 	}
 	c := &Client{cfg: cfg, rng: cfg.Seed}
+	if cfg.Reg != nil {
+		c.rtt = cfg.Reg.Histogram(MetricClientRTT, "client-observed seconds per successful access/decision exchange", obs.DefaultLatencyBuckets)
+		c.retriesC = cfg.Reg.Counter(MetricClientRetries, "requests retried after a transport fault")
+		c.reconnectsC = cfg.Reg.Counter(MetricClientReconnects, "re-dials (successful or not) after a lost connection")
+		c.busyC = cfg.Reg.Counter(MetricClientBusy, "busy bounces honoured with the server's retry hint")
+	}
 	var err error
 	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
 		if err = c.connect(); err == nil {
@@ -204,11 +234,13 @@ func (c *Client) Decide(fr *serve.Frame) (*serve.Frame, error) {
 				lastErr = err
 				c.failures++
 				c.Reconnects++
+				c.reconnectsC.Inc()
 				c.cfg.Logf("client: reconnect failed (attempt %d): %v", attempt, err)
 				c.backoff()
 				continue
 			}
 			c.Reconnects++
+			c.reconnectsC.Inc()
 			// A restarted server may have restored an older snapshot:
 			// its session is behind our stream and sending fr.Seq now
 			// would silently skip the gap. Hand control to the driver.
@@ -216,17 +248,25 @@ func (c *Client) Decide(fr *serve.Frame) (*serve.Frame, error) {
 				return nil, &RewindError{ServerSeq: c.serverSeq}
 			}
 		}
+		var start time.Time
+		if c.rtt != nil {
+			start = time.Now()
+		}
 		dec, err := c.exchange(fr)
 		if err != nil {
 			lastErr = err
 			c.failures++
 			c.Retries++
+			c.retriesC.Inc()
 			c.cfg.Logf("client: request seq %d failed (attempt %d): %v", fr.Seq, attempt, err)
 			c.drop()
 			c.backoff()
 			continue
 		}
 		c.failures = 0
+		if c.rtt != nil {
+			c.rtt.Observe(time.Since(start).Seconds())
+		}
 		return dec, nil
 	}
 	return nil, fmt.Errorf("client: seq %d: giving up after %d attempts: %w", fr.Seq, c.cfg.MaxAttempts, lastErr)
@@ -264,6 +304,7 @@ func (c *Client) exchange(fr *serve.Frame) (*serve.Frame, error) {
 				continue
 			}
 			c.Busy++
+			c.busyC.Inc()
 			if busyN++; busyN > c.cfg.MaxAttempts {
 				return nil, fmt.Errorf("client: server busy %d times for seq %d", busyN, fr.Seq)
 			}
@@ -323,6 +364,47 @@ func (c *Client) Ping() error {
 		return fmt.Errorf("client: ping answered with %s", got.Type)
 	}
 	return nil
+}
+
+// Stats fetches the server-side serving statistics for this client's
+// session (decisions, degraded fallbacks, replays, inbox high-water).
+// Lockstep like Ping: call it between Decide exchanges, not concurrently.
+func (c *Client) Stats() (*serve.SessionStats, error) {
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return nil, err
+		}
+	}
+	b, err := serve.EncodeFrame(&serve.Frame{Type: serve.FrameStats})
+	if err != nil {
+		return nil, err
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	if _, err := c.conn.Write(b); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	for {
+		c.conn.SetReadDeadline(deadline)
+		got, err := c.r.Read()
+		if err != nil {
+			return nil, err
+		}
+		switch got.Type {
+		case serve.FrameStats:
+			if got.Stats == nil {
+				return nil, fmt.Errorf("client: stats reply without payload")
+			}
+			return got.Stats, nil
+		case serve.FrameDecision, serve.FramePong:
+			// Late answers to earlier traffic (duplicated by a chaos
+			// proxy): skip.
+		case serve.FrameError:
+			return nil, fmt.Errorf("client: stats: server error %s: %s", got.Code, got.Msg)
+		default:
+			return nil, fmt.Errorf("client: stats answered with %s", got.Type)
+		}
+	}
 }
 
 // Close detaches politely (bye) and closes the connection.

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 )
 
 // ProtocolVersion is negotiated in the hello/welcome handshake.
@@ -47,6 +48,9 @@ const (
 	// FramePing / FramePong keep an idle connection's read deadline fresh.
 	FramePing FrameType = "ping"
 	FramePong FrameType = "pong"
+	// FrameStats requests (client → server, empty) or carries (server →
+	// client, Stats set) the attached session's serving statistics.
+	FrameStats FrameType = "stats"
 	// FrameBye detaches cleanly: client → server.
 	FrameBye FrameType = "bye"
 )
@@ -66,6 +70,23 @@ const (
 	// CodeSessionClosed: the session expired or was closed mid-request.
 	CodeSessionClosed = "session-closed"
 )
+
+// SessionStats is one session's serving statistics, carried by a stats
+// frame and by the daemon's /debug/serve HTTP endpoint: how many fresh
+// decisions the learner produced, how much load was shed (degraded
+// fallbacks when the inbox filled), how many duplicates were replayed, and
+// the inbox high-water mark (the deepest the bounded inbox ever got —
+// InboxHighWater at the configured depth means the session brushed its
+// degraded threshold).
+type SessionStats struct {
+	ID             string `json:"id"`
+	Decisions      uint64 `json:"decisions"`
+	Degraded       uint64 `json:"degraded"`
+	Replayed       uint64 `json:"replayed"`
+	InboxHighWater int    `json:"inbox_high_water"`
+	LastSeq        uint64 `json:"last_seq"`
+	Attached       bool   `json:"attached"`
+}
 
 // Hints mirrors trace.SWHints on the wire.
 type Hints struct {
@@ -117,6 +138,9 @@ type Frame struct {
 	// Busy payload.
 	RetryMs int `json:"retry_ms,omitempty"`
 
+	// Stats payload (server → client stats frames only).
+	Stats *SessionStats `json:"stats,omitempty"`
+
 	// Error payload.
 	Code string `json:"code,omitempty"`
 	Msg  string `json:"msg,omitempty"`
@@ -137,6 +161,9 @@ func (f *Frame) Validate() error {
 			return fmt.Errorf("serve: access frame without seq")
 		}
 	case FrameWelcome, FrameDecision, FrameBusy, FramePing, FramePong, FrameBye:
+	case FrameStats:
+		// Valid both ways: the request carries no payload, the reply
+		// carries Stats.
 	case FrameError:
 		if f.Code == "" {
 			return fmt.Errorf("serve: error frame without code")
@@ -194,6 +221,30 @@ func NewFrameReader(r io.Reader) *FrameReader {
 // buffered whole; io.EOF surfaces unchanged so callers can distinguish a
 // clean close.
 func (fr *FrameReader) Read() (*Frame, error) {
+	line, err := fr.readLine()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFrame(line)
+}
+
+// ReadTimed is Read with the parse cost split out: it returns how long
+// DecodeFrame took, excluding the wait for bytes to arrive on the wire.
+// The instrumented serving path uses it so the decode histogram measures
+// JSON parsing, not client think-time.
+func (fr *FrameReader) ReadTimed() (*Frame, time.Duration, error) {
+	line, err := fr.readLine()
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	f, err := DecodeFrame(line)
+	return f, time.Since(start), err
+}
+
+// readLine accumulates one newline-terminated line (without the newline)
+// under the frame size bound.
+func (fr *FrameReader) readLine() ([]byte, error) {
 	var line []byte
 	for {
 		chunk, err := fr.r.ReadSlice('\n')
@@ -204,7 +255,7 @@ func (fr *FrameReader) Read() (*Frame, error) {
 			}
 		}
 		if err == nil {
-			break
+			return line[:len(line)-1], nil
 		}
 		if err == bufio.ErrBufferFull {
 			continue
@@ -215,5 +266,4 @@ func (fr *FrameReader) Read() (*Frame, error) {
 		}
 		return nil, err
 	}
-	return DecodeFrame(line[:len(line)-1])
 }

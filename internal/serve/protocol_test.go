@@ -2,9 +2,12 @@ package serve
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"net"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
@@ -20,6 +23,10 @@ func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
 		{Type: FrameError, Code: CodeStaleSeq, Msg: "too old"},
 		{Type: FramePing},
 		{Type: FramePong},
+		{Type: FrameStats},
+		{Type: FrameStats, Stats: &SessionStats{
+			ID: "s1", Decisions: 10, Degraded: 2, Replayed: 1,
+			InboxHighWater: 3, LastSeq: 10, Attached: true}},
 		{Type: FrameBye},
 	}
 	for _, f := range frames {
@@ -114,6 +121,73 @@ func TestFrameReaderRejectsOversizeAndTruncated(t *testing.T) {
 	// A final unterminated line is a truncated frame, not a clean EOF.
 	if _, err := NewFrameReader(strings.NewReader(`{"type":"ping"}`)).Read(); err != io.ErrUnexpectedEOF {
 		t.Fatalf("want ErrUnexpectedEOF for truncated tail, got %v", err)
+	}
+}
+
+// TestFrameReaderPartialFrameOverConn: a peer that writes half a frame and
+// closes leaves a truncated tail, and the reader must surface
+// io.ErrUnexpectedEOF (not a clean EOF and not a parsed frame).
+func TestFrameReaderPartialFrameOverConn(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		client.Write([]byte(`{"type":"access","se`)) // no newline
+		client.Close()
+	}()
+	if _, err := NewFrameReader(server).Read(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("partial frame then close: want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+// TestFrameReaderDeadlineExpiry: when the read deadline fires mid-frame,
+// the reader surfaces the conn's timeout error — and because the partial
+// line is buffered inside the FrameReader, the conn is not resumable for
+// framing (the daemon's reader loop treats any non-nil error as fatal for
+// the connection, which this pins).
+func TestFrameReaderDeadlineExpiry(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go client.Write([]byte(`{"type":"ping"`)) // stall mid-frame, never newline
+	server.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	r := NewFrameReader(server)
+	_, err := r.Read()
+	if err == nil {
+		t.Fatal("read succeeded with an unterminated frame")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a net timeout error, got %v", err)
+	}
+}
+
+// TestFrameReaderReadTimed: the timed variant returns the same frames as
+// Read and a decode duration that reflects parse cost only.
+func TestFrameReaderReadTimed(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(1); i <= 3; i++ {
+		b, err := EncodeFrame(&Frame{Type: FrameAccess, Seq: i, Addr: i * 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+	}
+	r := NewFrameReader(&buf)
+	for i := uint64(1); i <= 3; i++ {
+		f, d, err := r.ReadTimed()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Seq != i || f.Addr != i*64 {
+			t.Fatalf("frame %d: %+v", i, f)
+		}
+		if d < 0 {
+			t.Fatalf("negative decode duration %v", d)
+		}
+	}
+	if _, _, err := r.ReadTimed(); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,12 @@ type Config struct {
 	Reg *obs.Registry
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
+
+	// Trace enables serving-path latency instrumentation (stage
+	// histograms, sampled request spans, slow-request log). Nil is the
+	// zero-overhead disabled path: the per-frame code reads no clocks and
+	// allocates nothing beyond the uninstrumented daemon.
+	Trace *TraceConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +118,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	store *sessionStore
+	trace *tracer // nil = uninstrumented per-frame path
 
 	ln       net.Listener
 	draining atomic.Bool
@@ -160,6 +168,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		store: newSessionStore(cfg.Shards),
+		trace: newTracer(cfg.Trace, cfg.Reg, cfg.Logf),
 		conns: make(map[net.Conn]struct{}),
 		bg:    make(chan struct{}),
 	}
@@ -422,7 +431,18 @@ func (s *Server) handleConn(c net.Conn) {
 
 	for {
 		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		fr, err := r.Read()
+		// With tracing on, split the decode cost out of the read (the wait
+		// for bytes is client think-time, not serving latency).
+		var (
+			fr        *Frame
+			decodeDur time.Duration
+			err       error
+		)
+		if s.trace != nil {
+			fr, decodeDur, err = r.ReadTimed()
+		} else {
+			fr, err = r.Read()
+		}
 		if err != nil {
 			// io errors (peer gone, deadline, drain-close) end the
 			// connection silently; decode errors get one parting error
@@ -435,9 +455,18 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		switch fr.Type {
 		case FrameAccess:
-			s.handleAccess(sess, fr, w)
+			it := inboxItem{fr: fr, conn: w}
+			if s.trace != nil {
+				it.arrival = time.Now()
+				it.decodeDur = decodeDur
+				it.sampled, it.spanStart = s.trace.sample(decodeDur)
+			}
+			s.handleAccess(sess, it)
 		case FramePing:
 			w.write(&Frame{Type: FramePong})
+		case FrameStats:
+			st := sess.stats()
+			w.write(&Frame{Type: FrameStats, Stats: &st})
 		case FrameBye:
 			return
 		default:
@@ -453,25 +482,39 @@ func (s *Server) handleConn(c net.Conn) {
 //  2. session inbox full → immediate degraded fallback decision
 //  3. session closed/expired → session-closed error (client re-hellos)
 //  4. otherwise → enqueue for the session worker
-func (s *Server) handleAccess(sess *session, fr *Frame, w *connWriter) {
+func (s *Server) handleAccess(sess *session, it inboxItem) {
+	fr, w := it.fr, it.conn
 	if n := s.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
 		s.inflight.Add(-1)
 		s.busyTotal.Inc()
 		w.write(&Frame{Type: FrameBusy, Seq: fr.Seq, RetryMs: s.cfg.RetryMs})
 		return
 	}
-	switch sess.enqueue(inboxItem{fr: fr, conn: w}) {
+	switch sess.enqueue(it) {
 	case enqueueOK:
 		// The worker owns the in-flight slot now.
 	case enqueueFull:
 		s.inflight.Add(-1)
 		s.degradedTotal.Inc()
+		sess.degraded.Add(1)
 		w.write(FallbackDecision(fr, s.cfg.BlockShift))
 	case enqueueClosed:
 		s.inflight.Add(-1)
 		w.write(&Frame{Type: FrameError, Seq: fr.Seq, Code: CodeSessionClosed,
 			Msg: "session closed or expired; reconnect with a new hello"})
 	}
+}
+
+// SessionStatsAll snapshots every live session's serving statistics,
+// sorted by id (the /debug/serve HTTP endpoint renders it).
+func (s *Server) SessionStatsAll() []SessionStats {
+	sessions := s.store.all()
+	out := make([]SessionStats, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, sess.stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // connWriter serializes frame writes to one connection under a write

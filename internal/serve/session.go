@@ -30,10 +30,17 @@ type ReplayEntry struct {
 }
 
 // inboxItem is one access awaiting the session worker, together with the
-// connection to answer on.
+// connection to answer on. The trailing fields carry per-frame timing when
+// the server's tracer is enabled; with tracing off they stay zero and cost
+// nothing (the item travels by value through a preallocated channel).
 type inboxItem struct {
 	fr   *Frame
 	conn *connWriter
+
+	arrival   time.Time     // frame fully decoded; inbox queue-wait starts here
+	decodeDur time.Duration // DecodeFrame cost, measured on the reader
+	spanStart time.Duration // span-epoch offset of decode start (sampled only)
+	sampled   bool          // this request's span is recorded
 }
 
 // session is one client stream's server-side state: a learner, a bounded
@@ -43,13 +50,21 @@ type session struct {
 	id  string
 	srv *Server
 
-	// mu guards learner, lastSeq, replay and closed. The worker holds it
-	// while processing; the snapshotter holds it while saving.
+	// mu guards learner, lastSeq, replay, closed and inboxHW. The worker
+	// holds it while processing; the snapshotter holds it while saving.
 	mu      sync.Mutex
 	learner *Learner
 	lastSeq uint64
 	replay  replayRing
 	closed  bool
+	// inboxHW is the deepest the bounded inbox ever got (serving stats).
+	inboxHW int
+
+	// Serving statistics (SessionStats). Atomics because degraded is
+	// bumped from the connection reader while the worker runs.
+	decisions atomic.Uint64
+	degraded  atomic.Uint64
+	replayedN atomic.Uint64
 
 	inbox chan inboxItem
 	done  chan struct{} // closed when the worker has exited
@@ -128,11 +143,33 @@ func (s *session) enqueue(it inboxItem) enqueueResult {
 	}
 	select {
 	case s.inbox <- it:
+		if n := len(s.inbox); n > s.inboxHW {
+			s.inboxHW = n
+		}
 		s.mu.Unlock()
 		return enqueueOK
 	default:
 		s.mu.Unlock()
 		return enqueueFull
+	}
+}
+
+// stats snapshots the session's serving statistics.
+func (s *session) stats() SessionStats {
+	s.attachMu.Lock()
+	attached := s.attached != nil
+	s.attachMu.Unlock()
+	s.mu.Lock()
+	lastSeq, hw := s.lastSeq, s.inboxHW
+	s.mu.Unlock()
+	return SessionStats{
+		ID:             s.id,
+		Decisions:      s.decisions.Load(),
+		Degraded:       s.degraded.Load(),
+		Replayed:       s.replayedN.Load(),
+		InboxHighWater: hw,
+		LastSeq:        lastSeq,
+		Attached:       attached,
 	}
 }
 
@@ -227,11 +264,21 @@ func (s *session) process(it inboxItem) {
 			return
 		}
 		s.srv.replayedTotal.Inc()
+		s.replayedN.Add(1)
 		it.conn.write(&Frame{
 			Type: FrameDecision, Seq: fr.Seq,
 			Prefetch: entry.Prefetch, Shadow: entry.Shadow, Replayed: true,
 		})
 		return
+	}
+	// Stage clocks (fresh decisions only, so every latency histogram's
+	// count equals serve_decisions_total). decideStart doubles as the end
+	// of the queue-wait stage: arrival → here covers the inbox wait plus
+	// worker serialization.
+	tr := s.srv.trace
+	var decideStart time.Time
+	if tr != nil {
+		decideStart = time.Now()
 	}
 	dec := s.learner.Decide(fr)
 	dec.Seq = fr.Seq
@@ -239,7 +286,20 @@ func (s *session) process(it inboxItem) {
 	s.replay.put(ReplayEntry{Seq: fr.Seq, Prefetch: dec.Prefetch, Shadow: dec.Shadow})
 	s.mu.Unlock()
 	s.srv.decisionsTotal.Inc()
+	s.decisions.Add(1)
+	if tr == nil {
+		it.conn.write(dec)
+		return
+	}
+	decided := time.Now()
 	it.conn.write(dec)
+	written := time.Now()
+	tr.observe(s.id, fr.Seq, frameTiming{
+		decode:    it.decodeDur,
+		queueWait: decideStart.Sub(it.arrival),
+		decide:    decided.Sub(decideStart),
+		write:     written.Sub(decided),
+	}, it.sampled, it.spanStart, len(s.inbox))
 }
 
 // snapshot captures the session under its lock.
