@@ -11,7 +11,7 @@
 GO ?= go
 BENCH_N ?= 4
 
-.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard obs-smoke serve-smoke loadgen-smoke check clean
+.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard obs-smoke serve-smoke loadgen-smoke loadgen-gate check clean
 
 all: build
 
@@ -93,16 +93,30 @@ serve-smoke:
 	$(GO) test -race -count=1 -run '^TestChaos' ./internal/serve/client
 
 # loadgen-smoke drives the serving-path observability loop end to end,
-# race enabled (DESIGN.md §16): a closed-loop load-generator run against
-# an instrumented in-process daemon must produce a validating
+# race enabled (DESIGN.md §16): closed-loop load-generator runs at
+# batch=1 and batch=16 (subtests of TestLoadgenSmoke) against an
+# instrumented in-process daemon must each produce a validating
 # LOADGEN_<n>.json whose client and server views agree (every
-# serve_*_latency histogram count equals serve_decisions_total), plus the
-# alloc guard pinning the disabled/unsampled serve tracer at 0 allocs/op.
+# serve_*_latency histogram count equals serve_decisions_total, and for
+# batched runs sum(serve_batch_size) re-adds to the same total), plus the
+# alloc guards pinning the disabled/unsampled serve tracer and the
+# steady-state batch codec at 0 allocs/op (DESIGN.md §17).
 loadgen-smoke:
-	$(GO) test -race -count=1 -run '^TestLoadgenSmoke$$' ./cmd/loadgen
-	$(GO) test -count=1 -run '^TestTracerDisabledZeroAlloc$$' ./internal/serve
+	$(GO) test -race -count=1 -run '^TestLoadgenSmoke$$/^batch=1$$' ./cmd/loadgen
+	$(GO) test -race -count=1 -run '^TestLoadgenSmoke$$/^batch=16$$' ./cmd/loadgen
+	$(GO) test -count=1 -run '^(TestTracerDisabledZeroAlloc|TestSteadyStateCodecZeroAlloc)$$' ./internal/serve
 
-check: vet build race fuzz bench-smoke overhead-guard obs-smoke serve-smoke loadgen-smoke
+# loadgen-gate replays the recorded load-test trajectory: the committed
+# batched artifact (LOADGEN_2, batch 16) must hold its throughput edge
+# over the committed unbatched baseline (LOADGEN_1). Both files were
+# recorded on the same machine in the same config (batch aside), so the
+# comparison is deterministic — CI never re-measures saturation on shared
+# runners, it only verifies the recorded artifacts still validate and
+# still show the batched pipeline ahead.
+loadgen-gate:
+	$(GO) run ./cmd/inspect serve -min-rate-ratio 1 LOADGEN_1.json LOADGEN_2.json
+
+check: vet build race fuzz bench-smoke overhead-guard obs-smoke serve-smoke loadgen-smoke loadgen-gate
 
 clean:
 	rm -f .bench-smoke.json .overhead-guard.txt

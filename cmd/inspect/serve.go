@@ -23,6 +23,8 @@ func runServe(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("inspect serve", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	quiet := fs.Bool("q", false, "suppress informational logging")
+	minRatio := fs.Float64("min-rate-ratio", 0,
+		"with two artifacts, fail unless B's achieved rate >= ratio * A's (regression gate; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return harness.ExitUsage
 	}
@@ -45,9 +47,22 @@ func runServe(args []string, stdout io.Writer) int {
 		reps[i] = rep
 	}
 	if len(reps) == 1 {
+		if *minRatio > 0 {
+			fmt.Fprintln(os.Stderr, "inspect serve: -min-rate-ratio needs two artifacts to compare")
+			return harness.ExitUsage
+		}
 		renderLoadReport(reps[0], fs.Arg(0), stdout)
-	} else {
-		compareLoadReports(reps[0], reps[1], fs.Arg(0), fs.Arg(1), stdout)
+		return harness.ExitOK
+	}
+	compareLoadReports(reps[0], reps[1], fs.Arg(0), fs.Arg(1), stdout)
+	if *minRatio > 0 {
+		a, b := reps[0].AchievedRate, reps[1].AchievedRate
+		if b < *minRatio*a {
+			fmt.Fprintf(os.Stderr, "inspect serve: RATE GATE FAILED: B %.1f/s < %.2f x A %.1f/s (= %.1f/s)\n",
+				b, *minRatio, a, *minRatio*a)
+			return harness.ExitRunFailed
+		}
+		fmt.Fprintf(stdout, "rate gate ok: B %.1f/s >= %.2f x A %.1f/s\n", b, *minRatio, a)
 	}
 	return harness.ExitOK
 }
@@ -81,11 +96,20 @@ func loop(r *loadreport.Report) string {
 	return "closed loop (saturation)"
 }
 
+// batchOf renders a report's request batch size; schema-1 artifacts
+// predate the field and implicitly ran 1.
+func batchOf(r *loadreport.Report) int {
+	if r.Batch < 1 {
+		return 1
+	}
+	return r.Batch
+}
+
 func renderLoadReport(r *loadreport.Report, path string, w io.Writer) {
 	fmt.Fprintf(w, "loadgen artifact %s (run %d, schema %d, %s/%s %s)\n",
 		path, r.Loadgen, r.Schema, r.GOOS, r.GOARCH, r.GoVersion)
-	fmt.Fprintf(w, "  %s, %d sessions, %s, ran %v\n",
-		source(r), r.Sessions, loop(r), time.Duration(r.DurationNS).Round(time.Millisecond))
+	fmt.Fprintf(w, "  %s, %d sessions, batch %d, %s, ran %v\n",
+		source(r), r.Sessions, batchOf(r), loop(r), time.Duration(r.DurationNS).Round(time.Millisecond))
 	fmt.Fprintf(w, "  decisions %d (%.1f/s), degraded %d (%.2f%%), replayed %d, errors %d\n",
 		r.Decisions, r.AchievedRate, r.Degraded, 100*r.DegradedRate, r.Replayed, r.Errors)
 	fmt.Fprintf(w, "  busy %d (%.2f%%), retries %d, reconnects %d\n",
@@ -102,16 +126,20 @@ func renderLoadReport(r *loadreport.Report, path string, w io.Writer) {
 		}
 		fmt.Fprintf(w, "    mean frame latency %s; count-match holds across %d histograms\n",
 			fmtNS(mean), len(s.LatencyCounts))
+		if b := s.BatchSize; b != nil {
+			fmt.Fprintf(w, "    batch size: mean %.1f  p50 %.1f  p95 %.1f across %d frames; coalesced writes %d\n",
+				b.Mean, b.P50, b.P95, b.Count, s.CoalescedWritesTotal)
+		}
 	}
 }
 
 // compareLoadReports renders two runs side by side with deltas — the
 // before/after view for a load-test regression check.
 func compareLoadReports(a, b *loadreport.Report, pathA, pathB string, w io.Writer) {
-	fmt.Fprintf(w, "A: %s — %s, %d sessions, %s\n", pathA, source(a), a.Sessions, loop(a))
-	fmt.Fprintf(w, "B: %s — %s, %d sessions, %s\n", pathB, source(b), b.Sessions, loop(b))
+	fmt.Fprintf(w, "A: %s — %s, %d sessions, batch %d, %s\n", pathA, source(a), a.Sessions, batchOf(a), loop(a))
+	fmt.Fprintf(w, "B: %s — %s, %d sessions, batch %d, %s\n", pathB, source(b), b.Sessions, batchOf(b), loop(b))
 	if source(a) != source(b) || a.Sessions != b.Sessions || a.OpenLoop != b.OpenLoop {
-		fmt.Fprintln(w, "warning: run configurations differ; deltas compare unlike runs")
+		fmt.Fprintln(w, "warning: run configurations differ (batch aside); deltas compare unlike runs")
 	}
 	fmt.Fprintln(w)
 

@@ -19,7 +19,7 @@ func writeLoadReport(t *testing.T, name string, mutate func(*loadreport.Report))
 	rep := &loadreport.Report{
 		Loadgen: 1, Schema: loadreport.Schema,
 		Workload: "list", Scale: 0.1, Seed: 1,
-		Sessions: 4, DurationNS: int64(10 * time.Second),
+		Sessions: 4, Batch: 1, DurationNS: int64(10 * time.Second),
 		GoVersion: "go1.x", GOOS: "linux", GOARCH: "amd64",
 		Decisions: 10000, Degraded: 20, Replayed: 3,
 		AchievedRate: 1000, DegradedRate: 0.002,

@@ -19,6 +19,13 @@
 // (-trace); each session replays it in a loop under its own
 // monotonically increasing seq.
 //
+// -batch B (default 1) packs B accesses per exchange using the batched
+// protocol negotiated at hello. Latency stays per *decision*: in closed
+// loop every member is timed from the batch's send, in open loop every
+// member keeps its own scheduled send time — the batch goes out when its
+// last member comes due, and the wait is charged to the early members
+// (coordinated omission again), not hidden.
+//
 // With -metrics HOST:PORT (the daemon's -obs-listen address), the
 // artifact also embeds a server-side scrape: the serving counters and
 // every serve_*_latency histogram count, which must equal
@@ -47,6 +54,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -73,6 +82,7 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 type genConfig struct {
 	addr     string
 	sessions int
+	batch    int     // accesses per exchange; 1 = frame-at-a-time
 	rate     float64 // total decisions/sec target; 0 = closed loop
 	duration time.Duration
 
@@ -100,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		addr     = fs.String("addr", "", "prefetchd serving address (required)")
 		sessions = fs.Int("sessions", 4, "concurrent client sessions")
+		batch    = fs.Int("batch", 1, "accesses packed per exchange (1 = unbatched legacy protocol)")
 		rate     = fs.Float64("rate", 0, "total target decisions/sec across all sessions (0 = closed-loop saturation)")
 		duration = fs.Duration("duration", 10*time.Second, "how long to drive load")
 		workload = fs.String("workload", "list", "workload generator for the access stream (see prefetchsim -list)")
@@ -129,8 +140,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loadgen: -sessions and -duration must be positive, -rate non-negative")
 		return harness.ExitUsage
 	}
+	if *batch < 1 || *batch > serve.MaxBatch {
+		fmt.Fprintf(stderr, "loadgen: -batch must be 1..%d\n", serve.MaxBatch)
+		return harness.ExitUsage
+	}
 	cfg := genConfig{
-		addr: *addr, sessions: *sessions, rate: *rate, duration: *duration,
+		addr: *addr, sessions: *sessions, batch: *batch, rate: *rate, duration: *duration,
 		workload: *workload, scale: *scale, seed: *seed, traceIn: *traceIn,
 		metricsAddr: *metrics, progress: *progress, sessionTag: *tag,
 	}
@@ -220,7 +235,11 @@ func drive(ctx context.Context, cfg genConfig, logger *slog.Logger) (*loadreport
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			driveSession(runCtx, cfg, idx, frames, reg, lat, &tot, logger)
+			if cfg.batch > 1 {
+				driveSessionBatched(runCtx, cfg, idx, frames, reg, lat, &tot, logger)
+			} else {
+				driveSession(runCtx, cfg, idx, frames, reg, lat, &tot, logger)
+			}
 		}(i)
 	}
 
@@ -267,6 +286,7 @@ func drive(ctx context.Context, cfg genConfig, logger *slog.Logger) (*loadreport
 	rep := &loadreport.Report{
 		Schema:     loadreport.Schema,
 		Sessions:   cfg.sessions,
+		Batch:      cfg.batch,
 		TargetRate: cfg.rate,
 		OpenLoop:   cfg.rate > 0,
 		DurationNS: elapsed.Nanoseconds(),
@@ -375,6 +395,92 @@ func driveSession(ctx context.Context, cfg genConfig, idx int, frames []serve.Fr
 	}
 }
 
+// driveSessionBatched is driveSession for -batch > 1: it packs batches
+// of cfg.batch accesses per DecideBatch exchange. In open loop each
+// member keeps its own scheduled send time (start + k*interval) and the
+// batch is written when the *last* member comes due; each member's
+// latency is measured from its own schedule, so the wait for the batch
+// to fill is charged to the early members rather than hidden. In closed
+// loop the next batch forms the moment the previous reply lands, and
+// every member is timed from the batch's send.
+func driveSessionBatched(ctx context.Context, cfg genConfig, idx int, frames []serve.Frame,
+	reg *obs.Registry, lat *obs.Histogram, tot *totals, logger *slog.Logger) {
+	cl, err := client.Dial(client.Config{
+		Addr:     client.FixedAddr(cfg.addr),
+		Session:  fmt.Sprintf("%s-%d", cfg.sessionTag, idx),
+		MaxBatch: cfg.batch,
+		Reg:      reg,
+	})
+	if err != nil {
+		tot.errors.Add(1)
+		logger.Error("session dial failed", "session", idx, "err", err)
+		return
+	}
+	defer cl.Close()
+
+	var interval time.Duration
+	if cfg.rate > 0 {
+		interval = time.Duration(float64(cfg.sessions) / cfg.rate * float64(time.Second))
+	}
+	start := time.Now()
+	var k, seq uint64
+	fi := 0
+	accs := make([]serve.BatchAccess, cfg.batch)
+	sched := make([]time.Time, cfg.batch)
+	for ctx.Err() == nil {
+		for j := 0; j < cfg.batch; j++ {
+			if interval > 0 {
+				sched[j] = start.Add(time.Duration(k) * interval)
+				k++
+			}
+			fr := &frames[fi] // the template is shared read-only
+			if fi++; fi == len(frames) {
+				fi = 0
+			}
+			seq++
+			accs[j] = serve.BatchAccess{
+				Seq: seq, PC: fr.PC, Addr: fr.Addr, Value: fr.Value, Reg: fr.Reg,
+				BranchHist: fr.BranchHist, Store: fr.Store, Hints: fr.Hints,
+			}
+		}
+		if interval > 0 {
+			if d := time.Until(sched[cfg.batch-1]); d > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(d):
+				}
+			}
+		} else {
+			now := time.Now()
+			for j := range sched {
+				sched[j] = now
+			}
+		}
+		res, err := cl.DecideBatch(accs, sched)
+		if err != nil {
+			if ctx.Err() != nil {
+				return // shutdown races look like request errors
+			}
+			tot.errors.Add(1)
+			if rw, ok := err.(*client.RewindError); ok {
+				seq = rw.ServerSeq // replay from the daemon's high-water mark
+			}
+			continue
+		}
+		for j := range res {
+			lat.Observe(time.Since(sched[j]).Seconds())
+			tot.decisions.Add(1)
+			if res[j].Degraded {
+				tot.degraded.Add(1)
+			}
+			if res[j].Replayed {
+				tot.replayed.Add(1)
+			}
+		}
+	}
+}
+
 // scrapeServer pulls the daemon's expvar endpoint and extracts the
 // serving counters and latency histogram counts. The session workers
 // observe a frame's latency just after writing its reply, so the very
@@ -395,6 +501,9 @@ func scrapeServer(addr string) (*loadreport.ServerScrape, error) {
 		settled := true
 		for _, c := range s.LatencyCounts {
 			settled = settled && c == s.DecisionsTotal
+		}
+		if b := s.BatchSize; b != nil {
+			settled = settled && uint64(b.Sum+0.5) == s.DecisionsTotal
 		}
 		if settled || time.Now().After(deadline) {
 			return s, nil
@@ -449,5 +558,73 @@ func scrapeOnce(hc *http.Client, addr string) (*loadreport.ServerScrape, error) 
 			s.FrameLatencySumNS = int64(h.Sum * 1e9)
 		}
 	}
+	s.CoalescedWritesTotal = counter("serve_coalesced_writes_total")
+	if raw, ok := vars.Semloc[serve.MetricBatchSize]; ok {
+		var h struct {
+			Count   uint64            `json:"count"`
+			Sum     float64           `json:"sum"`
+			Buckets map[string]uint64 `json:"buckets"`
+		}
+		if err := json.Unmarshal(raw, &h); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", serve.MetricBatchSize, err)
+		}
+		if h.Count > 0 {
+			s.BatchSize = &loadreport.BatchSizeSummary{
+				Count: h.Count,
+				Sum:   h.Sum,
+				Mean:  h.Sum / float64(h.Count),
+				P50:   bucketQuantile(h.Buckets, 0.50),
+				P95:   bucketQuantile(h.Buckets, 0.95),
+			}
+		}
+	}
 	return s, nil
+}
+
+// bucketQuantile reconstructs a quantile from an expvar histogram's
+// cumulative buckets, with the same linear interpolation
+// obs.Histogram.Quantile applies to the live counts.
+func bucketQuantile(cum map[string]uint64, q float64) float64 {
+	type bucket struct {
+		bound float64
+		cum   uint64
+	}
+	var bks []bucket
+	var total uint64
+	for k, v := range cum {
+		if k == "+Inf" {
+			total = v
+			continue
+		}
+		b, err := strconv.ParseFloat(k, 64)
+		if err != nil {
+			continue
+		}
+		bks = append(bks, bucket{b, v})
+	}
+	sort.Slice(bks, func(i, j int) bool { return bks[i].bound < bks[j].bound })
+	if total == 0 && len(bks) > 0 {
+		total = bks[len(bks)-1].cum
+	}
+	if total == 0 || len(bks) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var prev uint64
+	lower := 0.0
+	for _, b := range bks {
+		c := float64(b.cum - prev)
+		if float64(prev)+c >= rank && c > 0 {
+			return lower + (rank-float64(prev))/c*(b.bound-lower)
+		}
+		prev = b.cum
+		lower = b.bound
+	}
+	return bks[len(bks)-1].bound
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -41,8 +42,17 @@ func startInstrumentedDaemon(t *testing.T) (*serve.Server, *obs.Server) {
 
 // TestLoadgenSmoke is the make-check gate: a short closed-loop run
 // against an instrumented in-process daemon must produce a validating
-// artifact whose client and server views agree, and leak nothing.
+// artifact whose client and server views agree, and leak nothing — once
+// frame-per-decision (batch 1) and once down the batched pipeline.
 func TestLoadgenSmoke(t *testing.T) {
+	for _, batch := range []int{1, 16} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			testLoadgenSmoke(t, batch)
+		})
+	}
+}
+
+func testLoadgenSmoke(t *testing.T, batch int) {
 	srv, obsSrv := startInstrumentedDaemon(t)
 	baseGoroutines := runtime.NumGoroutine()
 	out := filepath.Join(t.TempDir(), "LOADGEN_smoke.json")
@@ -53,6 +63,7 @@ func TestLoadgenSmoke(t *testing.T) {
 		"-metrics", obsSrv.Addr(),
 		"-sessions", "3",
 		"-duration", "2s",
+		"-batch", fmt.Sprint(batch),
 		"-workload", "list", "-scale", "0.05",
 		"-progress", "500ms",
 		"-out", out,
@@ -71,7 +82,7 @@ func TestLoadgenSmoke(t *testing.T) {
 	if err := rep.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Sessions != 3 || rep.OpenLoop || rep.Workload != "list" {
+	if rep.Sessions != 3 || rep.OpenLoop || rep.Workload != "list" || rep.Batch != batch {
 		t.Fatalf("artifact config drifted: %+v", rep)
 	}
 	if rep.Errors != 0 {
@@ -94,6 +105,18 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if len(rep.Server.LatencyCounts) != 5 {
 		t.Fatalf("scrape holds %d latency histograms, want 5", len(rep.Server.LatencyCounts))
+	}
+	if batch > 1 {
+		// Batched runs must scrape the batch-size histogram, and its sum
+		// must re-add to the decision count (Validate enforced this; the
+		// mean confirms batches actually formed).
+		bs := rep.Server.BatchSize
+		if bs == nil {
+			t.Fatal("batched artifact missing the batch_size scrape")
+		}
+		if bs.Mean <= 1 {
+			t.Fatalf("closed-loop batch 16 run averaged %.2f accesses per frame — batching never engaged", bs.Mean)
+		}
 	}
 
 	// Progress lines made it to stderr.
@@ -161,6 +184,8 @@ func TestLoadgenUsageErrors(t *testing.T) {
 		{"-addr", "x", "-sessions", "0"},   // bad sessions
 		{"-addr", "x", "-rate", "-1"},      // negative rate
 		{"-addr", "x", "-duration", "-2s"}, // bad duration
+		{"-addr", "x", "-batch", "0"},      // batch below 1
+		{"-addr", "x", "-batch", "65"},     // batch above the protocol cap
 		{"-bogus"},                         // unknown flag
 	} {
 		var stdout, stderr bytes.Buffer

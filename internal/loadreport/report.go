@@ -14,8 +14,12 @@ import (
 	"os"
 )
 
-// Schema is the current artifact schema version.
-const Schema = 1
+// Schema is the current artifact schema version. Schema 2 added batched
+// serving: the report-level Batch field, and the server scrape's
+// batch-size histogram summary plus the coalesced-writes counter. Schema
+// 1 artifacts (recorded before batching existed) still load and
+// validate — they implicitly ran batch 1.
+const Schema = 2
 
 // Percentiles is a latency summary in nanoseconds, estimated from the
 // load generator's log-spaced histogram by linear interpolation
@@ -43,6 +47,26 @@ type ServerScrape struct {
 	// FrameLatencySumNS is the serve_frame_latency histogram's sum — with
 	// DecisionsTotal it gives the server-side mean end-to-end latency.
 	FrameLatencySumNS int64 `json:"frame_latency_sum_ns"`
+
+	// BatchSize summarizes the serve_batch_size histogram (fresh
+	// decisions per served frame). Its sum equals DecisionsTotal — the
+	// batch-path count-match rule Validate enforces: stage latencies stay
+	// per *decision*, never per frame, so batched and unbatched artifacts
+	// compare like for like. Nil on schema-1 artifacts.
+	BatchSize *BatchSizeSummary `json:"batch_size,omitempty"`
+	// CoalescedWritesTotal counts reply frames that shared a syscall with
+	// an earlier frame already sitting in a connection's write buffer.
+	CoalescedWritesTotal uint64 `json:"coalesced_writes_total,omitempty"`
+}
+
+// BatchSizeSummary is the scraped serve_batch_size histogram: how many
+// fresh decisions each served frame carried.
+type BatchSizeSummary struct {
+	Count uint64  `json:"count"` // served frames that produced fresh decisions
+	Sum   float64 `json:"sum"`   // total fresh decisions (== decisions_total)
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
 }
 
 // Report is the LOADGEN_<n>.json artifact.
@@ -58,6 +82,10 @@ type Report struct {
 	Seed      uint64  `json:"seed,omitempty"`
 
 	Sessions int `json:"sessions"`
+	// Batch is the per-request batch size the generator packed (1 =
+	// frame-at-a-time). Required ≥1 on schema 2; schema-1 artifacts
+	// predate the field and implicitly ran 1.
+	Batch int `json:"batch,omitempty"`
 	// TargetRate is the requested total decisions/sec across all sessions;
 	// 0 means closed-loop (each session sends as fast as the daemon
 	// answers — the saturation probe).
@@ -93,11 +121,17 @@ type Report struct {
 // ladder is ordered, and — when the server was scraped — every latency
 // histogram count equals serve_decisions_total.
 func (r *Report) Validate() error {
-	if r.Schema != Schema {
+	if r.Schema != 1 && r.Schema != Schema {
 		return fmt.Errorf("loadreport: unknown schema %d", r.Schema)
 	}
 	if r.Sessions <= 0 {
 		return fmt.Errorf("loadreport: %d sessions", r.Sessions)
+	}
+	if r.Schema >= 2 && r.Batch < 1 {
+		return fmt.Errorf("loadreport: schema %d requires batch >= 1, got %d", r.Schema, r.Batch)
+	}
+	if r.Schema == 1 && r.Batch != 0 {
+		return fmt.Errorf("loadreport: schema 1 predates the batch field, got %d", r.Batch)
 	}
 	if (r.Workload == "") == (r.TraceFile == "") {
 		return fmt.Errorf("loadreport: exactly one of workload and trace_file must be set")
@@ -124,6 +158,18 @@ func (r *Report) Validate() error {
 			if count != s.DecisionsTotal {
 				return fmt.Errorf("loadreport: %s count %d != serve_decisions_total %d (count-match invariant)",
 					name, count, s.DecisionsTotal)
+			}
+		}
+		if b := s.BatchSize; b != nil {
+			// The batch histogram observes fresh-decisions-per-frame, so
+			// its sum must re-add to decisions_total: latencies stayed
+			// per decision, not per frame, even on the batched path.
+			if b.Count == 0 {
+				return fmt.Errorf("loadreport: batch_size histogram scraped empty")
+			}
+			if sum := uint64(b.Sum + 0.5); sum != s.DecisionsTotal {
+				return fmt.Errorf("loadreport: sum(serve_batch_size) %d != serve_decisions_total %d (batch count-match)",
+					sum, s.DecisionsTotal)
 			}
 		}
 	}

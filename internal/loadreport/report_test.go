@@ -12,7 +12,7 @@ func valid() *Report {
 	return &Report{
 		Loadgen: 1, Schema: Schema,
 		Workload: "list", Scale: 0.1, Seed: 1,
-		Sessions: 2, DurationNS: int64(time.Second),
+		Sessions: 2, Batch: 1, DurationNS: int64(time.Second),
 		Decisions: 100, AchievedRate: 100,
 		Latency: Percentiles{P50NS: 10, P95NS: 20, P99NS: 30, P999NS: 40},
 	}
@@ -26,6 +26,18 @@ func TestValidateRejections(t *testing.T) {
 	}{
 		{"bad schema", func(r *Report) { r.Schema = 99 }, "schema"},
 		{"no sessions", func(r *Report) { r.Sessions = 0 }, "sessions"},
+		{"schema 2 without batch", func(r *Report) { r.Batch = 0 }, "batch"},
+		{"schema 1 with batch", func(r *Report) { r.Schema = 1 }, "batch"},
+		{"batch count-match violation", func(r *Report) {
+			r.Server = &ServerScrape{DecisionsTotal: 100,
+				LatencyCounts: map[string]uint64{"serve_decide_latency": 100},
+				BatchSize:     &BatchSizeSummary{Count: 10, Sum: 99, Mean: 9.9, P50: 10, P95: 10}}
+		}, "batch count-match"},
+		{"empty batch histogram", func(r *Report) {
+			r.Server = &ServerScrape{DecisionsTotal: 100,
+				LatencyCounts: map[string]uint64{"serve_decide_latency": 100},
+				BatchSize:     &BatchSizeSummary{}}
+		}, "batch_size"},
 		{"both sources", func(r *Report) { r.TraceFile = "x.trace" }, "exactly one"},
 		{"neither source", func(r *Report) { r.Workload = "" }, "exactly one"},
 		{"no work", func(r *Report) { r.Decisions = 0 }, "no work"},
@@ -54,6 +66,12 @@ func TestValidateRejections(t *testing.T) {
 	}
 	if err := valid().Validate(); err != nil {
 		t.Fatalf("baseline report invalid: %v", err)
+	}
+	// Schema-1 artifacts (recorded before batching) must keep validating.
+	legacy := valid()
+	legacy.Schema, legacy.Batch = 1, 0
+	if err := legacy.Validate(); err != nil {
+		t.Fatalf("schema-1 report rejected: %v", err)
 	}
 }
 

@@ -18,9 +18,11 @@ import (
 )
 
 // Client-side metric names, registered when Config.Reg is set. The RTT
-// histogram observes one successful exchange (access written → matching
-// decision read, including any in-exchange busy waits) — the client's view
-// of serving latency, which the load generator scrapes for its artifact.
+// histogram observes one sample per decision — for Decide, the successful
+// exchange (access written → matching decision read, including any
+// in-exchange busy waits); for DecideBatch with a schedule, each access's
+// latency from its own intended send time, which corrects for coordinated
+// omission instead of letting batching hide queueing delay.
 const (
 	MetricClientRTT        = "client_rtt_seconds"
 	MetricClientRetries    = "client_retries_total"
@@ -41,6 +43,13 @@ type Config struct {
 	// wait for one decision before the request is retried.
 	DialTimeout    time.Duration
 	RequestTimeout time.Duration
+
+	// MaxBatch, when positive, asks the daemon at hello for batched
+	// decisions of up to this size (clamped to serve.MaxBatch). The
+	// granted size is Batch(); 0 keeps the legacy frame-at-a-time
+	// protocol, and DecideBatch degrades to per-access exchanges against
+	// daemons that grant 0.
+	MaxBatch int
 
 	// MaxAttempts bounds connect/request retries before giving up.
 	MaxAttempts int
@@ -110,8 +119,16 @@ type Client struct {
 
 	serverSeq uint64 // last seq the server reported applied (welcome)
 	resumed   bool   // last welcome's Resumed flag
+	batch     int    // batch size granted at the last welcome (0: unbatched)
 	failures  int    // consecutive transport failures, drives backoff
 	rng       uint64
+
+	// Reused buffers: enc holds the last encoded request (kept intact for
+	// same-bytes resends after busy), resp receives batch replies in
+	// place, out accumulates multi-chunk DecideBatch results.
+	enc  []byte
+	resp serve.Frame
+	out  []serve.BatchDecision
 
 	// Retries / Reconnects / Busy count retried sends, re-dials and busy
 	// bounces — chaos tests assert the faults were actually exercised.
@@ -161,6 +178,11 @@ func (c *Client) ServerSeq() uint64 { return c.serverSeq }
 // existing session.
 func (c *Client) Resumed() bool { return c.resumed }
 
+// Batch returns the batch size the daemon granted at the most recent
+// welcome (0: frame-at-a-time protocol). It can change across
+// reconnects — a restarted daemon may cap batching differently.
+func (c *Client) Batch() int { return c.batch }
+
 // connect dials and handshakes once.
 func (c *Client) connect() error {
 	c.drop()
@@ -168,12 +190,20 @@ func (c *Client) connect() error {
 	if err != nil {
 		return fmt.Errorf("client: dial: %w", err)
 	}
-	w := &serve.Frame{Type: serve.FrameHello, Version: serve.ProtocolVersion, Session: c.cfg.Session}
-	b, err := serve.EncodeFrame(w)
+	ask := c.cfg.MaxBatch
+	if ask < 0 {
+		ask = 0
+	}
+	if ask > serve.MaxBatch {
+		ask = serve.MaxBatch
+	}
+	w := &serve.Frame{Type: serve.FrameHello, Version: serve.ProtocolVersion, Session: c.cfg.Session, Batch: ask}
+	b, err := serve.AppendFrame(c.enc[:0], w)
 	if err != nil {
 		conn.Close()
 		return err
 	}
+	c.enc = b
 	conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
 	if _, err := conn.Write(b); err != nil {
 		conn.Close()
@@ -192,7 +222,38 @@ func (c *Client) connect() error {
 	conn.SetDeadline(time.Time{})
 	c.conn, c.r = conn, r
 	c.serverSeq, c.resumed = fr.LastSeq, fr.Resumed
+	granted := fr.Batch
+	if granted > ask {
+		granted = ask
+	}
+	if granted < 0 {
+		granted = 0
+	}
+	c.batch = granted
 	return nil
+}
+
+// send encodes f into the client's reused buffer and writes it under the
+// given deadline. The encoded bytes stay intact (for a same-bytes resend
+// after a busy bounce) until the next send.
+func (c *Client) send(f *serve.Frame, timeout time.Duration) error {
+	b, err := serve.AppendFrame(c.enc[:0], f)
+	if err != nil {
+		return err
+	}
+	c.enc = b
+	c.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := c.conn.Write(b); err != nil {
+		return fmt.Errorf("client: send: %w", err)
+	}
+	return nil
+}
+
+// resend rewrites the bytes of the last send (same seq, same payload).
+func (c *Client) resend(timeout time.Duration) error {
+	c.conn.SetWriteDeadline(time.Now().Add(timeout))
+	_, err := c.conn.Write(c.enc)
+	return err
 }
 
 func (c *Client) drop() {
@@ -272,17 +333,221 @@ func (c *Client) Decide(fr *serve.Frame) (*serve.Frame, error) {
 	return nil, fmt.Errorf("client: seq %d: giving up after %d attempts: %w", fr.Seq, c.cfg.MaxAttempts, lastErr)
 }
 
+// DecideBatch streams the accesses (contiguous ascending seqs, like one
+// batch frame) and returns their decisions in order. The request is
+// chunked to the batch size granted at hello; against a daemon that
+// granted no batching it degrades to per-access Decide exchanges, so
+// callers can use it unconditionally. Retry semantics match Decide —
+// same-seq resend of the whole chunk (the server's replay ring absorbs
+// the already-applied prefix as Replayed decisions), busy honoured with
+// the server's hint, and *RewindError when a restarted daemon is behind
+// the chunk about to be sent.
+//
+// The returned slice and its payloads alias client-owned buffers that
+// stay valid only until the next Decide/DecideBatch call — callers copy
+// what they keep.
+//
+// sched, when non-nil (must match len(accs)), carries each access's
+// intended send time; the RTT histogram then records one sample per
+// decision measured from that schedule — coordinated-omission-corrected,
+// so batching cannot hide queueing delay. With a nil sched each decision
+// still gets one sample, measured from its chunk's send.
+func (c *Client) DecideBatch(accs []serve.BatchAccess, sched []time.Time) ([]serve.BatchDecision, error) {
+	if len(accs) == 0 {
+		return nil, nil
+	}
+	if sched != nil && len(sched) != len(accs) {
+		return nil, fmt.Errorf("client: DecideBatch: %d accesses but %d schedule entries", len(accs), len(sched))
+	}
+	if accs[0].Seq == 0 {
+		return nil, fmt.Errorf("client: DecideBatch: zero seq")
+	}
+	for k := 1; k < len(accs); k++ {
+		if accs[k].Seq != accs[0].Seq+uint64(k) {
+			return nil, fmt.Errorf("client: DecideBatch: seqs must be contiguous ascending (index %d has %d, want %d)",
+				k, accs[k].Seq, accs[0].Seq+uint64(k))
+		}
+	}
+	c.out = c.out[:0]
+	var lastErr error
+	attempt := 0
+	for i := 0; i < len(accs); {
+		if attempt >= c.cfg.MaxAttempts {
+			return nil, fmt.Errorf("client: seq %d: giving up after %d attempts: %w", accs[i].Seq, c.cfg.MaxAttempts, lastErr)
+		}
+		if c.conn == nil {
+			if err := c.connect(); err != nil {
+				lastErr = err
+				attempt++
+				c.failures++
+				c.Reconnects++
+				c.reconnectsC.Inc()
+				c.cfg.Logf("client: reconnect failed (attempt %d): %v", attempt, err)
+				c.backoff()
+				continue
+			}
+			c.Reconnects++
+			c.reconnectsC.Inc()
+			if c.serverSeq+1 < accs[i].Seq {
+				return nil, &RewindError{ServerSeq: c.serverSeq}
+			}
+			// The granted batch size may have changed across the
+			// reconnect; the chunking below re-reads it every iteration.
+		}
+		if c.batch <= 0 {
+			// Legacy daemon (or batching disabled): finish the remaining
+			// accesses frame-at-a-time. Decide carries its own retry
+			// budget and rewind check.
+			for ; i < len(accs); i++ {
+				a := &accs[i]
+				dec, err := c.Decide(&serve.Frame{
+					Type: serve.FrameAccess, Seq: a.Seq, PC: a.PC, Addr: a.Addr,
+					Value: a.Value, Reg: a.Reg, BranchHist: a.BranchHist,
+					Store: a.Store, Hints: a.Hints,
+				})
+				if err != nil {
+					return nil, err
+				}
+				c.out = append(c.out, serve.BatchDecision{
+					Seq: a.Seq, Prefetch: dec.Prefetch, Shadow: dec.Shadow,
+					Degraded: dec.Degraded, Replayed: dec.Replayed,
+				})
+			}
+			return c.out, nil
+		}
+		k := min(c.batch, len(accs)-i)
+		chunk := accs[i : i+k]
+		var start time.Time
+		if c.rtt != nil && sched == nil {
+			start = time.Now()
+		}
+		res, err := c.exchangeBatch(chunk)
+		if err != nil {
+			lastErr = err
+			attempt++
+			c.failures++
+			c.Retries++
+			c.retriesC.Inc()
+			c.cfg.Logf("client: batch seq %d+%d failed (attempt %d): %v", chunk[0].Seq, k, attempt, err)
+			c.drop()
+			c.backoff()
+			continue
+		}
+		c.failures = 0
+		attempt = 0
+		if c.rtt != nil {
+			if sched != nil {
+				for j := 0; j < k; j++ {
+					c.rtt.Observe(time.Since(sched[i+j]).Seconds())
+				}
+			} else {
+				el := time.Since(start).Seconds()
+				for j := 0; j < k; j++ {
+					c.rtt.Observe(el)
+				}
+			}
+		}
+		if i == 0 && k == len(accs) {
+			// Single chunk: hand back the reply frame's results directly
+			// (valid until the next call) — the steady-state zero-copy path.
+			return res, nil
+		}
+		if i+k == len(accs) {
+			// Final chunk: the reply frame stays untouched until the next
+			// call, so shallow headers are safe.
+			c.out = append(c.out, res...)
+		} else {
+			// Earlier chunks: the reply frame's buffers are recycled by
+			// the next chunk's read, so deep-copy.
+			for j := range res {
+				d := res[j]
+				d.Prefetch = append([]uint64(nil), d.Prefetch...)
+				d.Shadow = append([]uint64(nil), d.Shadow...)
+				c.out = append(c.out, d)
+			}
+		}
+		i += k
+	}
+	return c.out, nil
+}
+
+// exchangeBatch sends one batch chunk and reads until its answer
+// arrives, decoding replies into the client's reused frame. Matching is
+// by identity of the seq range: a batch reply whose first seq and length
+// equal the chunk's is the answer (duplicated or delayed replies for
+// other chunks are skipped, like stray decisions on the single path).
+// A per-item stale_seq code means this client's stream fell further
+// behind the replay window than one chunk — unrecoverable, like the
+// single path's stale error.
+func (c *Client) exchangeBatch(chunk []serve.BatchAccess) ([]serve.BatchDecision, error) {
+	first := chunk[0].Seq
+	req := serve.Frame{Type: serve.FrameBatch, Accesses: chunk}
+	if err := c.send(&req, c.cfg.RequestTimeout); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	busyN := 0
+	for {
+		c.conn.SetReadDeadline(deadline)
+		if err := c.r.ReadInto(&c.resp); err != nil {
+			return nil, fmt.Errorf("client: recv: %w", err)
+		}
+		got := &c.resp
+		switch got.Type {
+		case serve.FrameBatch:
+			if len(got.Results) != len(chunk) || got.Results[0].Seq != first {
+				continue // delayed/duplicated reply for another chunk
+			}
+			for j := range got.Results {
+				if code := got.Results[j].Code; code != "" {
+					return nil, fmt.Errorf("client: seq %d %s on server", got.Results[j].Seq, code)
+				}
+			}
+			return got.Results, nil
+		case serve.FrameDecision, serve.FramePong:
+			// Stray singles from pre-batch traffic or keepalive noise.
+		case serve.FrameBusy:
+			if got.Seq != 0 && got.Seq != first {
+				continue
+			}
+			c.Busy++
+			c.busyC.Inc()
+			if busyN++; busyN > c.cfg.MaxAttempts {
+				return nil, fmt.Errorf("client: server busy %d times for batch at seq %d", busyN, first)
+			}
+			wait := time.Duration(got.RetryMs) * time.Millisecond
+			if wait <= 0 {
+				wait = c.cfg.BackoffBase
+			}
+			time.Sleep(wait)
+			if err := c.resend(c.cfg.RequestTimeout); err != nil {
+				return nil, fmt.Errorf("client: resend after busy: %w", err)
+			}
+			deadline = time.Now().Add(c.cfg.RequestTimeout)
+		case serve.FrameError:
+			switch got.Code {
+			case serve.CodeSessionClosed, serve.CodeShuttingDown:
+				return nil, fmt.Errorf("client: %s: %s", got.Code, got.Msg)
+			case serve.CodeStaleSeq:
+				if got.Seq != 0 && (got.Seq < first || got.Seq >= first+uint64(len(chunk))) {
+					continue // stale answer to a duplicated old frame
+				}
+				return nil, fmt.Errorf("client: batch at seq %d stale on server: %s", first, got.Msg)
+			default:
+				return nil, fmt.Errorf("client: server error %s: %s", got.Code, got.Msg)
+			}
+		default:
+			return nil, fmt.Errorf("client: unexpected %s frame mid-stream", got.Type)
+		}
+	}
+}
+
 // exchange sends one access and reads until its answer arrives. Busy
 // bounces are resent on the same connection after the server's hinted
 // wait; only transport faults bubble up to the reconnect path.
 func (c *Client) exchange(fr *serve.Frame) (*serve.Frame, error) {
-	b, err := serve.EncodeFrame(fr)
-	if err != nil {
+	if err := c.send(fr, c.cfg.RequestTimeout); err != nil {
 		return nil, err
-	}
-	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
-	if _, err := c.conn.Write(b); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
 	}
 	deadline := time.Now().Add(c.cfg.RequestTimeout)
 	busyN := 0
@@ -313,8 +578,7 @@ func (c *Client) exchange(fr *serve.Frame) (*serve.Frame, error) {
 				wait = c.cfg.BackoffBase
 			}
 			time.Sleep(wait)
-			c.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
-			if _, err := c.conn.Write(b); err != nil {
+			if err := c.resend(c.cfg.RequestTimeout); err != nil {
 				return nil, fmt.Errorf("client: resend after busy: %w", err)
 			}
 			deadline = time.Now().Add(c.cfg.RequestTimeout)
@@ -347,12 +611,7 @@ func (c *Client) Ping() error {
 			return err
 		}
 	}
-	b, err := serve.EncodeFrame(&serve.Frame{Type: serve.FramePing})
-	if err != nil {
-		return err
-	}
-	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
-	if _, err := c.conn.Write(b); err != nil {
+	if err := c.send(&serve.Frame{Type: serve.FramePing}, c.cfg.RequestTimeout); err != nil {
 		return err
 	}
 	c.conn.SetReadDeadline(time.Now().Add(c.cfg.RequestTimeout))
@@ -375,12 +634,7 @@ func (c *Client) Stats() (*serve.SessionStats, error) {
 			return nil, err
 		}
 	}
-	b, err := serve.EncodeFrame(&serve.Frame{Type: serve.FrameStats})
-	if err != nil {
-		return nil, err
-	}
-	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
-	if _, err := c.conn.Write(b); err != nil {
+	if err := c.send(&serve.Frame{Type: serve.FrameStats}, c.cfg.RequestTimeout); err != nil {
 		return nil, err
 	}
 	deadline := time.Now().Add(c.cfg.RequestTimeout)
@@ -412,10 +666,7 @@ func (c *Client) Close() error {
 	if c.conn == nil {
 		return nil
 	}
-	if b, err := serve.EncodeFrame(&serve.Frame{Type: serve.FrameBye}); err == nil {
-		c.conn.SetWriteDeadline(time.Now().Add(time.Second))
-		c.conn.Write(b)
-	}
+	c.send(&serve.Frame{Type: serve.FrameBye}, time.Second)
 	err := c.conn.Close()
 	c.conn, c.r = nil, nil
 	return err

@@ -1,0 +1,231 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"semloc/internal/serve"
+)
+
+// ErrCoalescerClosed answers submissions after Close.
+var ErrCoalescerClosed = errors.New("client: coalescer closed")
+
+// CoalesceResult delivers one submitted access's decision (deep-copied —
+// safe to retain) or the error that sank its batch.
+type CoalesceResult struct {
+	Decision serve.BatchDecision
+	Err      error
+}
+
+// Coalescer turns a lockstep Client into an auto-batching one: accesses
+// submitted within a small window (or until the negotiated batch size
+// fills) are packed into one DecideBatch exchange, amortizing framing
+// and syscall cost without the caller restructuring into explicit
+// batches. Seqs are assigned internally, continuing from the client's
+// last welcome — while a Coalescer is live, the underlying Client must
+// not be used for Decide/DecideBatch directly, or the seq streams
+// interleave.
+//
+// Each submission's RTT sample is measured from its Submit call (the
+// coalescing wait counts), so the window shows up honestly in latency.
+//
+// A batch error (including *RewindError) poisons the coalescer: the
+// internal seq stream has diverged from the server, so every pending and
+// future submission fails with that error and the driver rebuilds.
+type Coalescer struct {
+	cl     *Client
+	window time.Duration
+
+	mu      sync.Mutex
+	pending []pendingAccess
+	nextSeq uint64
+	closed  bool
+	broken  error
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+type pendingAccess struct {
+	acc   serve.BatchAccess
+	sched time.Time
+	ch    chan CoalesceResult
+}
+
+// NewCoalescer wraps cl. window bounds how long the first access of a
+// forming batch waits for company (default 500µs); a batch also
+// dispatches as soon as it reaches the size granted at hello.
+func NewCoalescer(cl *Client, window time.Duration) *Coalescer {
+	if window <= 0 {
+		window = 500 * time.Microsecond
+	}
+	co := &Coalescer{
+		cl:      cl,
+		window:  window,
+		nextSeq: cl.ServerSeq(),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go co.run()
+	return co
+}
+
+// Submit queues one access (its Seq field is ignored; the coalescer
+// numbers the stream) and returns a 1-buffered channel that receives the
+// decision when its batch completes. Safe for concurrent use.
+func (co *Coalescer) Submit(acc serve.BatchAccess) <-chan CoalesceResult {
+	ch := make(chan CoalesceResult, 1)
+	co.mu.Lock()
+	switch {
+	case co.closed:
+		co.mu.Unlock()
+		ch <- CoalesceResult{Err: ErrCoalescerClosed}
+		return ch
+	case co.broken != nil:
+		err := co.broken
+		co.mu.Unlock()
+		ch <- CoalesceResult{Err: fmt.Errorf("client: coalescer poisoned: %w", err)}
+		return ch
+	}
+	co.nextSeq++
+	acc.Seq = co.nextSeq
+	co.pending = append(co.pending, pendingAccess{acc: acc, sched: time.Now(), ch: ch})
+	co.mu.Unlock()
+	select {
+	case co.wake <- struct{}{}:
+	default:
+	}
+	return ch
+}
+
+// Close flushes everything pending and stops the sender. Idempotent;
+// returns once the sender goroutine has exited.
+func (co *Coalescer) Close() {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		<-co.done
+		return
+	}
+	co.closed = true
+	co.mu.Unlock()
+	close(co.stop)
+	<-co.done
+}
+
+// run is the single sender: it waits for pending work, holds the window
+// open from the oldest submission, and dispatches full or expired
+// batches in submission order.
+func (co *Coalescer) run() {
+	defer close(co.done)
+	max := co.cl.Batch()
+	if max <= 0 {
+		max = 1 // legacy daemon: DecideBatch degrades per-access anyway
+	}
+	for {
+		select {
+		case <-co.stop:
+			co.drain(max)
+			return
+		case <-co.wake:
+		}
+		for {
+			co.mu.Lock()
+			n := len(co.pending)
+			var oldest time.Time
+			if n > 0 {
+				oldest = co.pending[0].sched
+			}
+			co.mu.Unlock()
+			if n == 0 {
+				break
+			}
+			if n < max {
+				if wait := co.window - time.Since(oldest); wait > 0 {
+					timer := time.NewTimer(wait)
+					select {
+					case <-co.stop:
+						timer.Stop()
+						co.drain(max)
+						return
+					case <-co.wake:
+						timer.Stop()
+						continue // re-check fill level
+					case <-timer.C:
+					}
+				}
+			}
+			co.dispatch(max)
+		}
+	}
+}
+
+// drain dispatches everything still pending, then returns.
+func (co *Coalescer) drain(max int) {
+	for {
+		co.mu.Lock()
+		n := len(co.pending)
+		co.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		co.dispatch(max)
+	}
+}
+
+// dispatch cuts up to max pending accesses into one DecideBatch call and
+// delivers the results (or the shared failure) to their channels.
+func (co *Coalescer) dispatch(max int) {
+	co.mu.Lock()
+	k := min(len(co.pending), max)
+	batch := make([]pendingAccess, k)
+	copy(batch, co.pending)
+	rest := copy(co.pending, co.pending[k:])
+	for j := rest; j < len(co.pending); j++ {
+		co.pending[j] = pendingAccess{} // drop refs for GC
+	}
+	co.pending = co.pending[:rest]
+	co.mu.Unlock()
+	if k == 0 {
+		return
+	}
+
+	accs := make([]serve.BatchAccess, k)
+	sched := make([]time.Time, k)
+	for j := range batch {
+		accs[j] = batch[j].acc
+		sched[j] = batch[j].sched
+	}
+	res, err := co.cl.DecideBatch(accs, sched)
+	if err != nil {
+		co.fail(batch, err)
+		return
+	}
+	for j := range batch {
+		d := res[j]
+		d.Prefetch = append([]uint64(nil), d.Prefetch...)
+		d.Shadow = append([]uint64(nil), d.Shadow...)
+		batch[j].ch <- CoalesceResult{Decision: d}
+	}
+}
+
+// fail poisons the coalescer and errors out both the failed batch and
+// everything still queued behind it (their seqs are unusable once the
+// stream diverged).
+func (co *Coalescer) fail(batch []pendingAccess, err error) {
+	co.mu.Lock()
+	co.broken = err
+	queued := co.pending
+	co.pending = nil
+	co.mu.Unlock()
+	for j := range batch {
+		batch[j].ch <- CoalesceResult{Err: err}
+	}
+	for j := range queued {
+		queued[j].ch <- CoalesceResult{Err: fmt.Errorf("client: coalescer poisoned: %w", err)}
+	}
+}

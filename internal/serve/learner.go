@@ -59,36 +59,52 @@ func (l *Learner) Accesses() uint64 { return l.pf.Metrics().Accesses }
 // Decide applies one access frame and returns the decision frame (without
 // Seq, which the session fills in).
 func (l *Learner) Decide(fr *Frame) *Frame {
+	pf, sh := l.apply(fr.PC, fr.Addr, fr.Value, fr.Reg, fr.BranchHist, fr.Store, fr.Hints)
+	dec := &Frame{Type: FrameDecision}
+	if len(pf) > 0 {
+		dec.Prefetch = append([]uint64(nil), pf...)
+	}
+	if len(sh) > 0 {
+		dec.Shadow = append([]uint64(nil), sh...)
+	}
+	return dec
+}
+
+// DecideAccess applies one batch item and returns the issued and shadow
+// addresses. The returned slices are owned by the learner's issuer and
+// valid only until the next Decide/DecideAccess call — callers copy what
+// they keep. Batch serving uses this to avoid one slice allocation pair
+// per access.
+func (l *Learner) DecideAccess(a *BatchAccess) (prefetch, shadow []uint64) {
+	return l.apply(a.PC, a.Addr, a.Value, a.Reg, a.BranchHist, a.Store, a.Hints)
+}
+
+// apply feeds one access through the prefetcher and returns the
+// issuer-owned result slices.
+func (l *Learner) apply(pc, addr, value, reg uint64, branchHist uint16, store bool, hints *Hints) ([]uint64, []uint64) {
 	a := prefetch.Access{
-		PC:         fr.PC,
-		Addr:       memmodel.Addr(fr.Addr),
-		Line:       memmodel.Line(fr.Addr >> 6),
+		PC:         pc,
+		Addr:       memmodel.Addr(addr),
+		Line:       memmodel.Line(addr >> 6),
 		Now:        cache.Cycle(l.seen),
 		Index:      l.seen,
-		IsStore:    fr.Store,
-		Value:      fr.Value,
-		Reg:        fr.Reg,
-		BranchHist: fr.BranchHist,
+		IsStore:    store,
+		Value:      value,
+		Reg:        reg,
+		BranchHist: branchHist,
 	}
-	if fr.Hints != nil {
+	if hints != nil {
 		a.Hints = trace.SWHints{
-			Valid:      fr.Hints.Valid,
-			TypeID:     fr.Hints.TypeID,
-			LinkOffset: fr.Hints.LinkOffset,
-			RefForm:    trace.RefForm(fr.Hints.RefForm),
+			Valid:      hints.Valid,
+			TypeID:     hints.TypeID,
+			LinkOffset: hints.LinkOffset,
+			RefForm:    trace.RefForm(hints.RefForm),
 		}
 	}
 	l.iss.reset()
 	l.pf.OnAccess(&a, &l.iss)
 	l.seen++
-	dec := &Frame{Type: FrameDecision}
-	if len(l.iss.prefetches) > 0 {
-		dec.Prefetch = append([]uint64(nil), l.iss.prefetches...)
-	}
-	if len(l.iss.shadows) > 0 {
-		dec.Shadow = append([]uint64(nil), l.iss.shadows...)
-	}
-	return dec
+	return l.iss.prefetches, l.iss.shadows
 }
 
 // collectIssuer is the serving-side prefetch.Issuer: it records addresses
@@ -132,6 +148,23 @@ func FallbackDecision(fr *Frame, blockShift uint) *Frame {
 		Prefetch: []uint64{next},
 		Degraded: true,
 	}
+}
+
+// FallbackBatchDecision is FallbackDecision for a whole batch: one
+// next-line guess per access, produced without learner state when the
+// session's inbox is full.
+func FallbackBatchDecision(accs []BatchAccess, blockShift uint) *Frame {
+	blockBytes := uint64(1) << blockShift
+	out := &Frame{Type: FrameBatch, Results: make([]BatchDecision, len(accs))}
+	for i := range accs {
+		next := (accs[i].Addr &^ (blockBytes - 1)) + blockBytes
+		out.Results[i] = BatchDecision{
+			Seq:      accs[i].Seq,
+			Prefetch: []uint64{next},
+			Degraded: true,
+		}
+	}
+	return out
 }
 
 // AccessFrames converts a trace's memory records into the access frames a

@@ -53,7 +53,19 @@ const (
 	FrameStats FrameType = "stats"
 	// FrameBye detaches cleanly: client → server.
 	FrameBye FrameType = "bye"
+	// FrameBatch carries up to MaxBatch accesses (client → server,
+	// Accesses set) or their decisions (server → client, Results set) in
+	// one frame, amortizing the per-frame JSON and syscall cost. Batching
+	// is negotiated at hello (Frame.Batch); connections that did not
+	// negotiate it never see this type.
+	FrameBatch FrameType = "batch"
 )
+
+// MaxBatch bounds the number of accesses one batch frame may carry. The
+// seqs inside a batch must be contiguous and ascending, so a batch is
+// fully described by its first seq and length — this is what lets the
+// replay ring store one span per batch and split it on partial replay.
+const MaxBatch = 64
 
 // Error codes carried by FrameError.
 const (
@@ -96,6 +108,38 @@ type Hints struct {
 	RefForm    uint8  `json:"ref_form"`
 }
 
+// BatchAccess is one access inside a batch frame. It mirrors the access
+// payload of Frame, with the seq carried per item; Validate requires the
+// items' seqs to be nonzero, ascending, and contiguous.
+type BatchAccess struct {
+	Seq        uint64 `json:"seq"`
+	PC         uint64 `json:"pc,omitempty"`
+	Addr       uint64 `json:"addr,omitempty"`
+	Value      uint64 `json:"value,omitempty"`
+	Reg        uint64 `json:"reg,omitempty"`
+	BranchHist uint16 `json:"branch_hist,omitempty"`
+	Store      bool   `json:"store,omitempty"`
+	Hints      *Hints `json:"hints,omitempty"`
+
+	// spareHints parks a previously allocated Hints value across
+	// Frame.reset so the in-place decoder can reuse it (invisible to
+	// encoding/json: unexported).
+	spareHints *Hints
+}
+
+// BatchDecision answers one BatchAccess. Code, when set, marks a per-item
+// serving error (CodeStaleSeq: the seq was already applied and its
+// decision has left the replay ring); the rest of the batch is still
+// answered.
+type BatchDecision struct {
+	Seq      uint64   `json:"seq"`
+	Prefetch []uint64 `json:"prefetch,omitempty"`
+	Shadow   []uint64 `json:"shadow,omitempty"`
+	Degraded bool     `json:"degraded,omitempty"`
+	Replayed bool     `json:"replayed,omitempty"`
+	Code     string   `json:"code,omitempty"`
+}
+
 // Frame is one wire message. A single flat struct (rather than one type
 // per frame kind) keeps the codec allocation-light and the fuzz target
 // simple; Validate enforces per-type required fields.
@@ -105,6 +149,11 @@ type Frame struct {
 	// Hello.
 	Version int    `json:"v,omitempty"`
 	Session string `json:"session,omitempty"`
+	// Batch negotiates batching: on hello it is the largest batch the
+	// client wants to send (0: frame-at-a-time); on welcome it is the
+	// granted size, min(client ask, server cap, MaxBatch). Old peers
+	// ignore the field and keep speaking frame-for-frame.
+	Batch int `json:"batch,omitempty"`
 
 	// Access / decision correlation. Seq is per-session, strictly
 	// increasing; the first access of a session is seq 1.
@@ -129,6 +178,11 @@ type Frame struct {
 	Degraded bool `json:"degraded,omitempty"`
 	Replayed bool `json:"replayed,omitempty"`
 
+	// Batch payload: exactly one of Accesses (client → server) or
+	// Results (server → client) on a batch frame.
+	Accesses []BatchAccess   `json:"accesses,omitempty"`
+	Results  []BatchDecision `json:"results,omitempty"`
+
 	// Welcome payload.
 	LastSeq uint64 `json:"last_seq,omitempty"`
 	// Resumed reports whether the session existed before this attach
@@ -144,6 +198,11 @@ type Frame struct {
 	// Error payload.
 	Code string `json:"code,omitempty"`
 	Msg  string `json:"msg,omitempty"`
+
+	// spareHints parks a previously allocated Hints value across reset so
+	// the in-place decoder can reuse it (unexported: encoding/json and
+	// AppendFrame both skip it).
+	spareHints *Hints
 }
 
 // Validate enforces the per-type frame contract.
@@ -156,9 +215,38 @@ func (f *Frame) Validate() error {
 		if f.Session == "" || len(f.Session) > 128 {
 			return fmt.Errorf("serve: hello session id empty or too long")
 		}
+		if f.Batch < 0 {
+			return fmt.Errorf("serve: hello with negative batch %d", f.Batch)
+		}
 	case FrameAccess:
 		if f.Seq == 0 {
 			return fmt.Errorf("serve: access frame without seq")
+		}
+	case FrameBatch:
+		na, nr := len(f.Accesses), len(f.Results)
+		switch {
+		case na == 0 && nr == 0:
+			return fmt.Errorf("serve: empty batch frame")
+		case na > 0 && nr > 0:
+			return fmt.Errorf("serve: batch frame with both accesses and results")
+		case na > MaxBatch || nr > MaxBatch:
+			return fmt.Errorf("serve: batch of %d exceeds limit %d", na+nr, MaxBatch)
+		}
+		for i := range f.Accesses {
+			if f.Accesses[i].Seq == 0 {
+				return fmt.Errorf("serve: batch access %d without seq", i)
+			}
+			if i > 0 && f.Accesses[i].Seq != f.Accesses[0].Seq+uint64(i) {
+				return fmt.Errorf("serve: batch seqs not contiguous at index %d", i)
+			}
+		}
+		for i := range f.Results {
+			if f.Results[i].Seq == 0 {
+				return fmt.Errorf("serve: batch result %d without seq", i)
+			}
+			if i > 0 && f.Results[i].Seq != f.Results[0].Seq+uint64(i) {
+				return fmt.Errorf("serve: batch result seqs not contiguous at index %d", i)
+			}
 		}
 	case FrameWelcome, FrameDecision, FrameBusy, FramePing, FramePong, FrameBye:
 	case FrameStats:
@@ -178,43 +266,57 @@ func (f *Frame) Validate() error {
 // the trailing newline). It is the fuzz target FuzzDecodeFrame exercises:
 // it must never panic and never accept a frame Validate rejects.
 func DecodeFrame(line []byte) (*Frame, error) {
-	if len(line) > MaxFrameBytes {
-		return nil, fmt.Errorf("serve: frame of %d bytes exceeds limit %d", len(line), MaxFrameBytes)
-	}
 	var f Frame
-	if err := json.Unmarshal(line, &f); err != nil {
-		return nil, fmt.Errorf("serve: bad frame: %w", err)
-	}
-	if err := f.Validate(); err != nil {
+	if err := DecodeFrameInto(line, &f); err != nil {
 		return nil, err
 	}
 	return &f, nil
 }
 
+// DecodeFrameInto parses and validates one frame from a single line into
+// f, reusing f's slice capacities and Hints allocations: canonical frames
+// (the exact shape AppendFrame emits) decode with zero allocations. Any
+// non-canonical but legal JSON falls back to encoding/json with identical
+// accept/reject behavior — the fuzz target checks the two paths agree.
+func DecodeFrameInto(line []byte, f *Frame) error {
+	if len(line) > MaxFrameBytes {
+		f.reset()
+		return fmt.Errorf("serve: frame of %d bytes exceeds limit %d", len(line), MaxFrameBytes)
+	}
+	if !decodeFrameFast(line, f) {
+		// The fast path bailed (escape sequences, unusual number forms,
+		// unknown keys, stats payloads, …): reparse from scratch. A clean
+		// struct keeps encoding/json's element reuse from leaking stale
+		// fields into sparsely populated batch items.
+		*f = Frame{}
+		if err := json.Unmarshal(line, f); err != nil {
+			return fmt.Errorf("serve: bad frame: %w", err)
+		}
+	}
+	return f.Validate()
+}
+
 // EncodeFrame renders f as one newline-terminated wire line.
 func EncodeFrame(f *Frame) ([]byte, error) {
-	if err := f.Validate(); err != nil {
-		return nil, err
-	}
-	b, err := json.Marshal(f)
-	if err != nil {
-		return nil, fmt.Errorf("serve: encoding frame: %w", err)
-	}
-	if len(b) > MaxFrameBytes {
-		return nil, fmt.Errorf("serve: encoded frame of %d bytes exceeds limit %d", len(b), MaxFrameBytes)
-	}
-	return append(b, '\n'), nil
+	return AppendFrame(nil, f)
 }
 
 // FrameReader reads newline-delimited frames with a hard per-frame size
 // bound.
 type FrameReader struct {
 	r *bufio.Reader
+	// line backs readLine when a frame straddles the buffered reader's
+	// window; decoded frames never retain it.
+	line []byte
 }
+
+// frameReaderBuf sizes the buffered reader so a full MaxBatch access
+// frame normally fits in one ReadSlice window (zero-copy readLine).
+const frameReaderBuf = 1 << 14
 
 // NewFrameReader wraps r.
 func NewFrameReader(r io.Reader) *FrameReader {
-	return &FrameReader{r: bufio.NewReaderSize(r, 4096)}
+	return &FrameReader{r: bufio.NewReaderSize(r, frameReaderBuf)}
 }
 
 // Read returns the next frame. Oversized lines fail without being
@@ -226,6 +328,17 @@ func (fr *FrameReader) Read() (*Frame, error) {
 		return nil, err
 	}
 	return DecodeFrame(line)
+}
+
+// ReadInto decodes the next frame into f, reusing its buffers (see
+// DecodeFrameInto). The steady-state serving path uses it to keep decode
+// allocation-free.
+func (fr *FrameReader) ReadInto(f *Frame) error {
+	line, err := fr.readLine()
+	if err != nil {
+		return err
+	}
+	return DecodeFrameInto(line, f)
 }
 
 // ReadTimed is Read with the parse cost split out: it returns how long
@@ -242,28 +355,47 @@ func (fr *FrameReader) ReadTimed() (*Frame, time.Duration, error) {
 	return f, time.Since(start), err
 }
 
-// readLine accumulates one newline-terminated line (without the newline)
-// under the frame size bound.
+// ReadTimedInto is ReadInto with the parse cost split out, as ReadTimed.
+func (fr *FrameReader) ReadTimedInto(f *Frame) (time.Duration, error) {
+	line, err := fr.readLine()
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	err = DecodeFrameInto(line, f)
+	return time.Since(start), err
+}
+
+// readLine returns one newline-terminated line (without the newline)
+// under the frame size bound. The returned slice aliases either the
+// bufio window or fr.line and is only valid until the next call.
 func (fr *FrameReader) readLine() ([]byte, error) {
-	var line []byte
+	chunk, err := fr.r.ReadSlice('\n')
+	if err == nil {
+		// Whole line in one window: hand it out without copying.
+		if len(chunk) > MaxFrameBytes+1 {
+			return nil, fmt.Errorf("serve: frame exceeds %d bytes", MaxFrameBytes)
+		}
+		return chunk[:len(chunk)-1], nil
+	}
+	fr.line = fr.line[:0]
 	for {
-		chunk, err := fr.r.ReadSlice('\n')
 		if len(chunk) > 0 {
-			line = append(line, chunk...)
-			if len(line) > MaxFrameBytes+1 {
+			fr.line = append(fr.line, chunk...)
+			if len(fr.line) > MaxFrameBytes+1 {
 				return nil, fmt.Errorf("serve: frame exceeds %d bytes", MaxFrameBytes)
 			}
 		}
 		if err == nil {
-			return line[:len(line)-1], nil
+			return fr.line[:len(fr.line)-1], nil
 		}
-		if err == bufio.ErrBufferFull {
-			continue
+		if err != bufio.ErrBufferFull {
+			if err == io.EOF && len(fr.line) > 0 {
+				// A final unterminated line is a truncated frame.
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
 		}
-		if err == io.EOF && len(line) > 0 {
-			// A final unterminated line is a truncated frame.
-			return nil, io.ErrUnexpectedEOF
-		}
-		return nil, err
+		chunk, err = fr.r.ReadSlice('\n')
 	}
 }

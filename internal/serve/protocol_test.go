@@ -203,6 +203,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte(``))
 	f.Add([]byte(`{"type":"access","seq":0}`))
 	f.Add([]byte(`{"hints":{"valid":true}}`))
+	f.Add([]byte(`{"type":"hello","v":1,"session":"s","batch":64}`))
+	f.Add([]byte(`{"type":"batch","accesses":[{"seq":1,"addr":64},{"seq":2,"addr":128}]}`))
+	f.Add([]byte(`{"type":"batch","results":[{"seq":1,"prefetch":[64]},{"seq":2,"replayed":true}]}`))
+	f.Add([]byte(`{"type":"batch","accesses":[]}`))                    // zero-length: rejected
+	f.Add([]byte(`{"type":"batch","accesses":[{"seq":3},{"seq":3}]}`)) // duplicate seqs: rejected
+	f.Add([]byte(`{"type":"batch","accesses":[{"seq":3},{"seq":9}]}`)) // gapped seqs: rejected
+	f.Add(append([]byte(`{"type":"batch","accesses":[{"seq":1}`),
+		append(bytes.Repeat([]byte(`,{"seq":2}`), MaxBatch), ']', '}')...)) // oversize: rejected
 	f.Fuzz(func(t *testing.T, line []byte) {
 		fr, err := DecodeFrame(line)
 		if err != nil {

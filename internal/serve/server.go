@@ -32,10 +32,26 @@ type Config struct {
 	ReplayDepth int
 
 	// MaxInflight caps accesses accepted but not yet answered across all
-	// sessions; beyond it clients get an explicit busy frame.
+	// sessions (each batched access counts one); beyond it clients get an
+	// explicit busy frame.
 	MaxInflight int
 	// RetryMs is the backoff hint carried by busy frames.
 	RetryMs int
+
+	// MaxBatch caps the batch size granted at hello: 0 grants up to the
+	// protocol limit (serve.MaxBatch), negative disables batching (every
+	// hello is granted 0 and batch frames are protocol errors).
+	MaxBatch int
+
+	// WriteCoalesce and WriteCoalesceDelay shape the connection writer's
+	// flush policy for worker replies: replies buffer until the session
+	// inbox goes idle, the buffer reaches WriteCoalesce bytes, or the
+	// delay deadline fires — so pipelined clients get replies packed into
+	// fewer syscalls while lockstep clients still flush per reply.
+	// WriteCoalesce 0 means the 4096-byte default; negative writes
+	// through. WriteCoalesceDelay 0 means 200µs.
+	WriteCoalesce      int
+	WriteCoalesceDelay time.Duration
 
 	// ReadTimeout bounds the gap between frames on a connection (a dead
 	// peer is collected instead of pinning a reader goroutine forever);
@@ -88,6 +104,18 @@ func (c Config) withDefaults() Config {
 	if c.RetryMs <= 0 {
 		c.RetryMs = 50
 	}
+	switch {
+	case c.MaxBatch < 0:
+		c.MaxBatch = 0
+	case c.MaxBatch == 0 || c.MaxBatch > MaxBatch:
+		c.MaxBatch = MaxBatch
+	}
+	if c.WriteCoalesce == 0 {
+		c.WriteCoalesce = 4096
+	}
+	if c.WriteCoalesceDelay <= 0 {
+		c.WriteCoalesceDelay = 200 * time.Microsecond
+	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 60 * time.Second
 	}
@@ -133,6 +161,11 @@ type Server struct {
 
 	inflight atomic.Int64
 
+	// framePool recycles decoded request frames between the connection
+	// readers and the session workers, keeping the steady-state decode
+	// path allocation-free.
+	framePool sync.Pool
+
 	// restored reports how many sessions the boot snapshot rebuilt.
 	restored int
 
@@ -154,9 +187,28 @@ type Server struct {
 	snapsTotal     *obs.Counter
 	snapErrors     *obs.Counter
 	reapedTotal    *obs.Counter
+	coalescedTotal *obs.Counter
 	sessionsGauge  *obs.Gauge
 	connsGauge     *obs.Gauge
 	inflightGauge  *obs.Gauge
+}
+
+// getFrame takes a reusable frame from the pool.
+func (s *Server) getFrame() *Frame {
+	if v := s.framePool.Get(); v != nil {
+		return v.(*Frame)
+	}
+	return new(Frame)
+}
+
+// putFrame returns a request frame after its last read. Frames keep their
+// slice capacities and Hints allocations across reuse.
+func (s *Server) putFrame(f *Frame) {
+	if f == nil {
+		return
+	}
+	f.reset()
+	s.framePool.Put(f)
 }
 
 // NewServer builds a server and, when SnapshotPath is set, restores the
@@ -183,6 +235,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.snapsTotal = reg.Counter("serve_snapshots_total", "snapshots written")
 	s.snapErrors = reg.Counter("serve_snapshot_errors_total", "snapshot writes that failed")
 	s.reapedTotal = reg.Counter("serve_sessions_reaped_total", "idle sessions expired by the reaper")
+	s.coalescedTotal = reg.Counter("serve_coalesced_writes_total", "reply frames appended to an already-pending write buffer (syscalls saved by coalescing)")
 	s.sessionsGauge = reg.Gauge("serve_sessions", "live sessions")
 	s.connsGauge = reg.Gauge("serve_connections", "open client connections")
 	s.inflightGauge = reg.Gauge("serve_inflight", "accesses accepted but not yet answered")
@@ -390,10 +443,11 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handleConn runs one connection: hello/welcome handshake, then a frame
-// loop under a per-frame read deadline.
+// handleConn runs one connection: hello/welcome handshake (negotiating
+// the batch size), then a frame loop under a per-frame read deadline.
 func (s *Server) handleConn(c net.Conn) {
-	w := newConnWriter(c, s.cfg.WriteTimeout)
+	w := newConnWriter(c, s.cfg.WriteTimeout, s.cfg.WriteCoalesce, s.cfg.WriteCoalesceDelay, s.coalescedTotal)
+	defer w.close()
 	r := NewFrameReader(c)
 
 	c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
@@ -411,6 +465,13 @@ func (s *Server) handleConn(c net.Conn) {
 		w.write(&Frame{Type: FrameError, Code: CodeShuttingDown, Msg: "draining"})
 		return
 	}
+	// Grant the smaller of what the client asked for and the server cap.
+	// Old clients never set Batch and are granted 0: the connection
+	// behaves exactly as before batching existed.
+	batch := first.Batch
+	if batch > s.cfg.MaxBatch {
+		batch = s.cfg.MaxBatch
+	}
 	sess, existed, err := s.store.getOrCreate(first.Session, func() (*session, error) {
 		l, err := NewLearner(s.cfg.Learner)
 		if err != nil {
@@ -425,25 +486,28 @@ func (s *Server) handleConn(c net.Conn) {
 	lastSeq := sess.attach(w)
 	defer sess.detach(w)
 	s.sessionsGauge.Set(float64(s.store.count()))
-	if !w.write(&Frame{Type: FrameWelcome, Session: sess.id, LastSeq: lastSeq, Resumed: existed}) {
+	if !w.write(&Frame{Type: FrameWelcome, Session: sess.id, LastSeq: lastSeq, Resumed: existed, Batch: batch}) {
 		return
 	}
 
 	for {
 		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		// With tracing on, split the decode cost out of the read (the wait
-		// for bytes is client think-time, not serving latency).
+		// for bytes is client think-time, not serving latency). Frames
+		// decode into pooled storage; ownership passes to the session
+		// worker on enqueue and returns to the pool at every other exit.
+		fr := s.getFrame()
 		var (
-			fr        *Frame
 			decodeDur time.Duration
 			err       error
 		)
 		if s.trace != nil {
-			fr, decodeDur, err = r.ReadTimed()
+			decodeDur, err = r.ReadTimedInto(fr)
 		} else {
-			fr, err = r.Read()
+			err = r.ReadInto(fr)
 		}
 		if err != nil {
+			s.putFrame(fr)
 			// io errors (peer gone, deadline, drain-close) end the
 			// connection silently; decode errors get one parting error
 			// frame — after a framing desync the stream is unusable.
@@ -462,46 +526,84 @@ func (s *Server) handleConn(c net.Conn) {
 				it.sampled, it.spanStart = s.trace.sample(decodeDur)
 			}
 			s.handleAccess(sess, it)
+		case FrameBatch:
+			if batch == 0 || len(fr.Accesses) == 0 || len(fr.Accesses) > batch {
+				msg := "batch frame on a connection that did not negotiate batching"
+				switch {
+				case len(fr.Accesses) == 0:
+					msg = "batch frame without accesses"
+				case batch > 0:
+					msg = fmt.Sprintf("batch of %d exceeds the negotiated size %d", len(fr.Accesses), batch)
+				}
+				w.write(&Frame{Type: FrameError, Code: CodeProtocol, Msg: msg})
+				s.putFrame(fr)
+				continue
+			}
+			it := inboxItem{fr: fr, conn: w}
+			if s.trace != nil {
+				it.arrival = time.Now()
+				it.decodeDur = decodeDur
+				it.sampled, it.spanStart = s.trace.sample(decodeDur)
+			}
+			s.handleAccess(sess, it)
 		case FramePing:
 			w.write(&Frame{Type: FramePong})
+			s.putFrame(fr)
 		case FrameStats:
 			st := sess.stats()
 			w.write(&Frame{Type: FrameStats, Stats: &st})
+			s.putFrame(fr)
 		case FrameBye:
+			s.putFrame(fr)
 			return
 		default:
 			w.write(&Frame{Type: FrameError, Code: CodeProtocol,
 				Msg: fmt.Sprintf("unexpected %s frame after handshake", fr.Type)})
+			s.putFrame(fr)
 		}
 	}
 }
 
-// handleAccess walks the degradation ladder for one access:
+// handleAccess walks the degradation ladder for one access or batch
+// frame (a batch holds one inbox slot but counts every access against
+// the global in-flight budget):
 //
 //  1. global in-flight budget exhausted → explicit busy frame
-//  2. session inbox full → immediate degraded fallback decision
+//  2. session inbox full → immediate degraded fallback decision(s)
 //  3. session closed/expired → session-closed error (client re-hellos)
 //  4. otherwise → enqueue for the session worker
 func (s *Server) handleAccess(sess *session, it inboxItem) {
 	fr, w := it.fr, it.conn
-	if n := s.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
-		s.inflight.Add(-1)
-		s.busyTotal.Inc()
-		w.write(&Frame{Type: FrameBusy, Seq: fr.Seq, RetryMs: s.cfg.RetryMs})
+	n := inflightCost(fr)
+	seq := fr.Seq
+	if fr.Type == FrameBatch {
+		seq = fr.Accesses[0].Seq
+	}
+	if cur := s.inflight.Add(n); cur > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-n)
+		s.busyTotal.Add(uint64(n))
+		w.write(&Frame{Type: FrameBusy, Seq: seq, RetryMs: s.cfg.RetryMs})
+		s.putFrame(fr)
 		return
 	}
 	switch sess.enqueue(it) {
 	case enqueueOK:
-		// The worker owns the in-flight slot now.
+		// The worker owns the in-flight slots and the frame now.
 	case enqueueFull:
-		s.inflight.Add(-1)
-		s.degradedTotal.Inc()
-		sess.degraded.Add(1)
-		w.write(FallbackDecision(fr, s.cfg.BlockShift))
+		s.inflight.Add(-n)
+		s.degradedTotal.Add(uint64(n))
+		sess.degraded.Add(uint64(n))
+		if fr.Type == FrameBatch {
+			w.write(FallbackBatchDecision(fr.Accesses, s.cfg.BlockShift))
+		} else {
+			w.write(FallbackDecision(fr, s.cfg.BlockShift))
+		}
+		s.putFrame(fr)
 	case enqueueClosed:
-		s.inflight.Add(-1)
-		w.write(&Frame{Type: FrameError, Seq: fr.Seq, Code: CodeSessionClosed,
+		s.inflight.Add(-n)
+		w.write(&Frame{Type: FrameError, Seq: seq, Code: CodeSessionClosed,
 			Msg: "session closed or expired; reconnect with a new hello"})
+		s.putFrame(fr)
 	}
 }
 
@@ -519,28 +621,126 @@ func (s *Server) SessionStatsAll() []SessionStats {
 
 // connWriter serializes frame writes to one connection under a write
 // deadline. Both the connection reader (busy/error/fallback replies) and
-// the session worker (decisions) write through it concurrently.
+// the session worker (decisions) write through it concurrently. Frames
+// encode into one reused buffer (zero steady-state encode allocations);
+// worker replies may additionally linger in that buffer so consecutive
+// replies to a pipelined client coalesce into one syscall — write order
+// is preserved because every path appends to, and flushes, the same
+// buffer.
 type connWriter struct {
 	mu      sync.Mutex
 	c       net.Conn
 	timeout time.Duration
+
+	// Coalescing policy: buffer worker replies until coalesce bytes are
+	// pending or the delay timer fires (the session worker also flushes
+	// whenever its inbox goes idle). coalesce <= 0 writes through.
+	coalesce  int
+	delay     time.Duration
+	buf       []byte
+	timer     *time.Timer
+	armed     bool
+	coalesced *obs.Counter // nil when uncounted (client-side tests)
 }
 
-func newConnWriter(c net.Conn, timeout time.Duration) *connWriter {
-	return &connWriter{c: c, timeout: timeout}
+func newConnWriter(c net.Conn, timeout time.Duration, coalesce int, delay time.Duration, coalesced *obs.Counter) *connWriter {
+	return &connWriter{c: c, timeout: timeout, coalesce: coalesce, delay: delay, coalesced: coalesced}
 }
 
-// write sends one frame, reporting success. Failures (peer gone, frame
-// invalid) are swallowed: the reader's next Read surfaces the broken
-// connection, and the client's retry discipline recovers the decision.
+// write appends one frame and flushes everything pending, reporting
+// success. Failures (peer gone, frame invalid) are swallowed: the
+// reader's next Read surfaces the broken connection, and the client's
+// retry discipline recovers the decision.
 func (w *connWriter) write(f *Frame) bool {
-	b, err := EncodeFrame(f)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.appendLocked(f) {
+		return false
+	}
+	return w.flushLocked()
+}
+
+// writeq appends one worker reply under the coalescing policy: flush only
+// once the buffer crosses the byte threshold. The caller (session worker)
+// follows up with flush() when its inbox is idle or armFlush() when more
+// replies are coming.
+func (w *connWriter) writeq(f *Frame) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.coalesce <= 0 {
+		if !w.appendLocked(f) {
+			return false
+		}
+		return w.flushLocked()
+	}
+	if len(w.buf) > 0 && w.coalesced != nil {
+		w.coalesced.Inc()
+	}
+	if !w.appendLocked(f) {
+		return false
+	}
+	if len(w.buf) >= w.coalesce {
+		return w.flushLocked()
+	}
+	return true
+}
+
+// flush writes out anything pending.
+func (w *connWriter) flush() {
+	w.mu.Lock()
+	w.flushLocked()
+	w.mu.Unlock()
+}
+
+// armFlush schedules the delay-deadline flush for bytes left pending, so
+// a reply never waits on the next inbox item for more than the configured
+// delay even if the pipeline stalls.
+func (w *connWriter) armFlush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.buf) == 0 || w.armed {
+		return
+	}
+	w.armed = true
+	if w.timer == nil {
+		w.timer = time.AfterFunc(w.delay, w.timedFlush)
+	} else {
+		w.timer.Reset(w.delay)
+	}
+}
+
+func (w *connWriter) timedFlush() {
+	w.mu.Lock()
+	w.flushLocked()
+	w.mu.Unlock()
+}
+
+// close flushes any pending bytes and stops the flush timer.
+func (w *connWriter) close() {
+	w.mu.Lock()
+	w.flushLocked()
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	w.mu.Unlock()
+}
+
+func (w *connWriter) appendLocked(f *Frame) bool {
+	b, err := AppendFrame(w.buf, f)
 	if err != nil {
 		return false
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.buf = b
+	return true
+}
+
+func (w *connWriter) flushLocked() bool {
+	w.armed = false
+	if len(w.buf) == 0 {
+		return true
+	}
 	w.c.SetWriteDeadline(time.Now().Add(w.timeout))
-	_, err = w.c.Write(b)
+	_, err := w.c.Write(w.buf)
+	w.buf = w.buf[:0]
 	return err == nil
 }

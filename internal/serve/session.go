@@ -199,12 +199,14 @@ func (s *session) work() {
 		if g := s.srv.gate; g != nil {
 			<-g
 		}
+		n := inflightCost(it.fr)
 		err := harness.Safely(func() error {
 			s.process(it)
 			return nil
 		})
-		s.srv.inflight.Add(-1)
+		s.srv.inflight.Add(-n)
 		if err == nil {
+			s.srv.putFrame(it.fr)
 			continue
 		}
 		// The session is poisoned: mark it closed so no further enqueues
@@ -219,18 +221,33 @@ func (s *session) work() {
 		s.mu.Unlock()
 		s.srv.noteSessionPanic(s, err)
 		s.fail(it, err)
+		s.srv.putFrame(it.fr)
 		for it := range s.inbox {
 			s.fail(it, err)
-			s.srv.inflight.Add(-1)
+			s.srv.inflight.Add(-inflightCost(it.fr))
+			s.srv.putFrame(it.fr)
 		}
 		return
 	}
 }
 
+// inflightCost is how many accesses a queued frame holds against the
+// global in-flight budget: a batch counts each access.
+func inflightCost(fr *Frame) int64 {
+	if fr.Type == FrameBatch {
+		return int64(len(fr.Accesses))
+	}
+	return 1
+}
+
 // fail answers one queued item with a session-closed error.
 func (s *session) fail(it inboxItem, err error) {
+	seq := it.fr.Seq
+	if it.fr.Type == FrameBatch && len(it.fr.Accesses) > 0 {
+		seq = it.fr.Accesses[0].Seq
+	}
 	it.conn.write(&Frame{
-		Type: FrameError, Seq: it.fr.Seq,
+		Type: FrameError, Seq: seq,
 		Code: CodeSessionClosed, Msg: fmt.Sprintf("session %s: %v", s.id, err),
 	})
 }
@@ -241,6 +258,10 @@ func (s *session) fail(it inboxItem, err error) {
 //	seq <= lastSeq, cached:  duplicate — replay the original decision
 //	seq <= lastSeq, evicted: too old — stale-seq error
 func (s *session) process(it inboxItem) {
+	if it.fr.Type == FrameBatch {
+		s.processBatch(it)
+		return
+	}
 	fr := it.fr
 	s.touch()
 	if q := s.srv.panicOnSeq; q != 0 && fr.Seq == q {
@@ -288,13 +309,115 @@ func (s *session) process(it inboxItem) {
 	s.srv.decisionsTotal.Inc()
 	s.decisions.Add(1)
 	if tr == nil {
-		it.conn.write(dec)
+		s.reply(it.conn, dec)
 		return
 	}
 	decided := time.Now()
-	it.conn.write(dec)
+	s.reply(it.conn, dec)
 	written := time.Now()
 	tr.observe(s.id, fr.Seq, frameTiming{
+		decode:    it.decodeDur,
+		queueWait: decideStart.Sub(it.arrival),
+		decide:    decided.Sub(decideStart),
+		write:     written.Sub(decided),
+	}, it.sampled, it.spanStart, len(s.inbox))
+}
+
+// reply sends a worker-produced decision through the connection's
+// coalescing buffer, flushing when the inbox is idle (a lockstep client
+// is waiting on exactly this reply) and otherwise letting the writer's
+// byte/deadline policy batch the syscall with the next replies.
+func (s *session) reply(conn *connWriter, f *Frame) {
+	conn.writeq(f)
+	if len(s.inbox) == 0 {
+		conn.flush()
+	} else {
+		conn.armFlush()
+	}
+}
+
+// processBatch applies one negotiated batch under a single lock hold and
+// a single inbox hop: per access the same exactly-once discipline as
+// process (fresh / replayed / stale), with the whole fresh tail cached as
+// one replay-ring span so a resent batch after reconnect splits into
+// Replayed items and (if the span was evicted) per-item stale-seq codes.
+// Holding s.mu across the batch means snapshots only ever observe
+// batch-aligned learner state — a restore never lands mid-batch.
+func (s *session) processBatch(it inboxItem) {
+	fr := it.fr
+	s.touch()
+	if q := s.srv.panicOnSeq; q != 0 {
+		first, last := fr.Accesses[0].Seq, fr.Accesses[len(fr.Accesses)-1].Seq
+		if first <= q && q <= last {
+			panic(fmt.Sprintf("injected fault at seq %d", q))
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.fail(it, fmt.Errorf("closed"))
+		return
+	}
+	tr := s.srv.trace
+	var decideStart time.Time
+	if tr != nil {
+		decideStart = time.Now()
+	}
+	out := &Frame{Type: FrameBatch, Results: make([]BatchDecision, 0, len(fr.Accesses))}
+	var fresh, replayed, stale int
+	for i := range fr.Accesses {
+		a := &fr.Accesses[i]
+		if a.Seq <= s.lastSeq {
+			if entry, ok := s.replay.get(a.Seq); ok {
+				replayed++
+				out.Results = append(out.Results, BatchDecision{
+					Seq: a.Seq, Prefetch: entry.Prefetch, Shadow: entry.Shadow, Replayed: true,
+				})
+			} else {
+				stale++
+				out.Results = append(out.Results, BatchDecision{Seq: a.Seq, Code: CodeStaleSeq})
+			}
+			continue
+		}
+		pf, sh := s.learner.DecideAccess(a)
+		d := BatchDecision{Seq: a.Seq}
+		if len(pf) > 0 {
+			d.Prefetch = append([]uint64(nil), pf...)
+		}
+		if len(sh) > 0 {
+			d.Shadow = append([]uint64(nil), sh...)
+		}
+		out.Results = append(out.Results, d)
+		s.lastSeq = a.Seq
+		fresh++
+	}
+	if fresh > 0 {
+		span := make([]ReplayEntry, 0, fresh)
+		for _, d := range out.Results[len(out.Results)-fresh:] {
+			span = append(span, ReplayEntry{Seq: d.Seq, Prefetch: d.Prefetch, Shadow: d.Shadow})
+		}
+		s.replay.putSpan(span)
+	}
+	s.mu.Unlock()
+	if fresh > 0 {
+		s.srv.decisionsTotal.Add(uint64(fresh))
+		s.decisions.Add(uint64(fresh))
+	}
+	if replayed > 0 {
+		s.srv.replayedTotal.Add(uint64(replayed))
+		s.replayedN.Add(uint64(replayed))
+	}
+	if stale > 0 {
+		s.srv.staleTotal.Add(uint64(stale))
+	}
+	if tr == nil || fresh == 0 {
+		s.reply(it.conn, out)
+		return
+	}
+	decided := time.Now()
+	s.reply(it.conn, out)
+	written := time.Now()
+	tr.observeBatch(s.id, fr.Accesses[0].Seq, len(fr.Accesses), fresh, frameTiming{
 		decode:    it.decodeDur,
 		queueWait: decideStart.Sub(it.arrival),
 		decide:    decided.Sub(decideStart),
@@ -314,7 +437,10 @@ func (s *session) snapshot() SessionSnapshot {
 	}
 }
 
-// restoreSession rebuilds a session from a snapshot slice.
+// restoreSession rebuilds a session from a snapshot slice. The snapshot
+// stores the replay cache flat (ascending seqs); contiguous runs are
+// regrouped into spans so the restored ring keeps the same replay window
+// the live ring had, whatever mix of batch sizes produced it.
 func restoreSession(snap SessionSnapshot, srv *Server) (*session, error) {
 	l, err := RestoreLearner(snap.Learner)
 	if err != nil {
@@ -322,58 +448,80 @@ func restoreSession(snap SessionSnapshot, srv *Server) (*session, error) {
 	}
 	s := newSession(snap.ID, l, srv)
 	s.lastSeq = snap.LastSeq
-	for _, e := range snap.Replay {
-		s.replay.put(e)
+	for i := 0; i < len(snap.Replay); {
+		j := i + 1
+		for j < len(snap.Replay) && snap.Replay[j].Seq == snap.Replay[j-1].Seq+1 {
+			j++
+		}
+		s.replay.putSpan(append([]ReplayEntry(nil), snap.Replay[i:j]...))
+		i = j
 	}
 	return s, nil
 }
 
-// replayRing caches the most recent decisions by seq for duplicate
-// suppression, bounded and allocation-stable.
+// replayRing caches the most recent decisions for duplicate suppression:
+// a bounded ring of spans, each span one contiguous seq range (a batch's
+// fresh decisions, or a single decision). One slot per served frame keeps
+// the lookup and eviction cost independent of batch size, and a resent
+// batch that straddles the ring edge naturally splits into the entries
+// still cached and the seqs already evicted.
 type replayRing struct {
-	entries_ []ReplayEntry
-	next     int
-	filled   bool
+	spans []replaySpan
+	next  int
+}
+
+// replaySpan is one cached contiguous decision run; empty slots hold nil.
+type replaySpan struct {
+	entries []ReplayEntry
 }
 
 func (r *replayRing) init(depth int) {
 	if depth <= 0 {
 		depth = 1
 	}
-	r.entries_ = make([]ReplayEntry, depth)
+	r.spans = make([]replaySpan, depth)
 }
 
 func (r *replayRing) put(e ReplayEntry) {
-	r.entries_[r.next] = e
+	r.putSpan([]ReplayEntry{e})
+}
+
+// putSpan caches one contiguous run (ascending seqs), taking ownership of
+// es and evicting the oldest span.
+func (r *replayRing) putSpan(es []ReplayEntry) {
+	if len(es) == 0 {
+		return
+	}
+	r.spans[r.next] = replaySpan{entries: es}
 	r.next++
-	if r.next == len(r.entries_) {
+	if r.next == len(r.spans) {
 		r.next = 0
-		r.filled = true
 	}
 }
 
 func (r *replayRing) get(seq uint64) (ReplayEntry, bool) {
-	for i := range r.entries_ {
-		if r.entries_[i].Seq == seq && seq != 0 {
-			return r.entries_[i], true
+	if seq == 0 {
+		return ReplayEntry{}, false
+	}
+	for i := range r.spans {
+		es := r.spans[i].entries
+		if len(es) == 0 {
+			continue
+		}
+		if first := es[0].Seq; seq >= first && seq-first < uint64(len(es)) {
+			return es[seq-first], true
 		}
 	}
 	return ReplayEntry{}, false
 }
 
 // entries returns the cached decisions in ascending seq order (snapshot
-// determinism).
+// determinism): walking slots oldest-first flattens to ascending seqs
+// because spans are only ever appended with increasing ranges.
 func (r *replayRing) entries() []ReplayEntry {
 	var out []ReplayEntry
-	for i := range r.entries_ {
-		if r.entries_[i].Seq != 0 {
-			out = append(out, r.entries_[i])
-		}
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Seq < out[j-1].Seq; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
+	for k := 0; k < len(r.spans); k++ {
+		out = append(out, r.spans[(r.next+k)%len(r.spans)].entries...)
 	}
 	return out
 }

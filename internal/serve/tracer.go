@@ -59,6 +59,17 @@ const (
 	MetricFrameLatency     = "serve_frame_latency"
 )
 
+// MetricBatchSize is the histogram of fresh decisions per served frame:
+// one observation of 1 per unbatched decision, one observation of F per
+// batch frame that produced F fresh decisions. Its sum therefore equals
+// serve_decisions_total (the batch-path count-match invariant), while its
+// quantiles show how full client batches actually run.
+const MetricBatchSize = "serve_batch_size"
+
+// batchSizeBuckets grids 1..MaxBatch with enough resolution to tell
+// "mostly full" from "mostly single".
+var batchSizeBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
 // tracer is the serving-path instrumentation a Server carries when
 // Config.Trace is set. A nil *tracer is the disabled path: the per-frame
 // code asks `s.trace != nil` once per stage and otherwise touches nothing.
@@ -68,6 +79,7 @@ type tracer struct {
 	decide    *obs.Histogram
 	write     *obs.Histogram
 	frame     *obs.Histogram
+	batchSize *obs.Histogram
 
 	spans       *obs.SpanRecorder
 	sampleEvery uint64
@@ -89,6 +101,7 @@ func newTracer(tc *TraceConfig, reg *obs.Registry, logf func(string, ...any)) *t
 		decide:      r.Histogram(MetricDecideLatency, "seconds inside the learner per fresh decision", obs.DefaultLatencyBuckets),
 		write:       r.Histogram(MetricWriteLatency, "seconds encoding and writing one decision reply", obs.DefaultLatencyBuckets),
 		frame:       r.Histogram(MetricFrameLatency, "end-to-end seconds from frame decode to reply written", obs.DefaultLatencyBuckets),
+		batchSize:   r.Histogram(MetricBatchSize, "fresh decisions per served frame (sum equals serve_decisions_total)", batchSizeBuckets),
 		spans:       c.Spans,
 		sampleEvery: uint64(c.SampleEvery),
 		slow:        c.SlowThreshold,
@@ -134,6 +147,7 @@ func (t *tracer) observe(sessionID string, seq uint64, ft frameTiming, sampled b
 	t.write.Observe(sec(ft.write))
 	total := ft.total()
 	t.frame.Observe(sec(total))
+	t.batchSize.Observe(1)
 
 	if sampled {
 		at := spanStart
@@ -163,5 +177,60 @@ func (t *tracer) observe(sessionID string, seq uint64, ft frameTiming, sampled b
 	if t.slow > 0 && total > t.slow {
 		t.logf("serve: slow request session=%s seq=%d total=%s decode=%s queue_wait=%s decide=%s write=%s inbox_len=%d",
 			sessionID, seq, total, ft.decode, ft.queueWait, ft.decide, ft.write, inboxLen)
+	}
+}
+
+// observeBatch records one batch frame that produced fresh > 0 new
+// decisions. Per-decision attribution keeps the count-match invariant:
+// each stage duration is split evenly over the fresh decisions and
+// observed fresh times, so serve_*_latency counts advance by fresh (==
+// the serve_decisions_total increment) and the histogram sums still add
+// up to real elapsed stage time. The batch gets one span and one slow-log
+// check, sized by the whole frame.
+func (t *tracer) observeBatch(sessionID string, firstSeq uint64, size, fresh int, ft frameTiming, sampled bool, spanStart time.Duration, inboxLen int) {
+	t.batchSize.Observe(float64(fresh))
+	n := time.Duration(fresh)
+	decode := (ft.decode / n).Seconds()
+	queueWait := (ft.queueWait / n).Seconds()
+	decide := (ft.decide / n).Seconds()
+	write := (ft.write / n).Seconds()
+	perFrame := (ft.total() / n).Seconds()
+	for i := 0; i < fresh; i++ {
+		t.decode.Observe(decode)
+		t.queueWait.Observe(queueWait)
+		t.decide.Observe(decide)
+		t.write.Observe(write)
+		t.frame.Observe(perFrame)
+	}
+	total := ft.total()
+
+	if sampled {
+		at := spanStart
+		phases := make([]obs.Phase, 0, 4)
+		for _, p := range []struct {
+			name string
+			dur  time.Duration
+		}{
+			{obs.PhaseDecode, ft.decode},
+			{obs.PhaseQueueWait, ft.queueWait},
+			{obs.PhaseDecide, ft.decide},
+			{obs.PhaseWrite, ft.write},
+		} {
+			phases = append(phases, obs.Phase{Name: p.name, Start: at, Dur: p.dur})
+			at += p.dur
+		}
+		t.spans.Add(obs.Span{
+			Cat:      obs.CatServe,
+			Workload: sessionID,
+			Point:    int(firstSeq),
+			Start:    spanStart,
+			Dur:      total,
+			Phases:   phases,
+		})
+	}
+
+	if t.slow > 0 && total > t.slow {
+		t.logf("serve: slow batch session=%s first_seq=%d size=%d fresh=%d total=%s decode=%s queue_wait=%s decide=%s write=%s inbox_len=%d",
+			sessionID, firstSeq, size, fresh, total, ft.decode, ft.queueWait, ft.decide, ft.write, inboxLen)
 	}
 }
