@@ -6,12 +6,14 @@
 # zero allocations per access + a race-enabled live observability smoke
 # (sweep with -listen, /metrics scraped mid-run, leak-checked shutdown) +
 # a race-enabled serving smoke (prefetchd SIGTERM drain, snapshot
-# warm-start, chaos transport).
+# warm-start, chaos transport) + a race-enabled learner-introspection
+# smoke (instrumented sweep rendered via inspect learner, live explain
+# round-trip against prefetchd).
 
 GO ?= go
 BENCH_N ?= 4
 
-.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard obs-smoke serve-smoke loadgen-smoke loadgen-gate check clean
+.PHONY: all vet build test race fuzz bench bench-smoke bench-diff overhead-guard obs-smoke serve-smoke loadgen-smoke loadgen-gate learner-smoke check clean
 
 all: build
 
@@ -116,7 +118,18 @@ loadgen-smoke:
 loadgen-gate:
 	$(GO) run ./cmd/inspect serve -min-rate-ratio 1 LOADGEN_1.json LOADGEN_2.json
 
-check: vet build race fuzz bench-smoke overhead-guard obs-smoke serve-smoke loadgen-smoke loadgen-gate
+# learner-smoke proves the learner-introspection layer end to end, race
+# enabled (DESIGN.md §18): an instrumented sweep's artifact renders through
+# `inspect learner` (health report, curve, anomaly gate), and a live
+# prefetchd session round-trips stats-with-health and an explain frame that
+# the same subcommand pretty-prints. The introspection bit-identity and
+# zero-alloc guards ride along from exp and core.
+learner-smoke:
+	$(GO) test -race -count=1 -run '^TestLearnerSmoke$$' ./cmd/inspect
+	$(GO) test -race -count=1 -run '^TestRunJobsLearnerObsMatchesDisabled$$' ./internal/exp
+	$(GO) test -count=1 -run '^TestLearnerHealthSnapshotZeroAlloc$$' ./internal/core
+
+check: vet build race fuzz bench-smoke overhead-guard obs-smoke serve-smoke loadgen-smoke loadgen-gate learner-smoke
 
 clean:
 	rm -f .bench-smoke.json .overhead-guard.txt

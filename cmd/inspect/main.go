@@ -15,6 +15,10 @@
 //	inspect spans -top 20 sweep.trace.json
 //	inspect serve LOADGEN_1.json                               # load-test summary
 //	inspect serve LOADGEN_1.json LOADGEN_2.json                # compare two runs
+//	inspect learner -run results/obs/list__context.json        # learner-health report
+//	inspect learner -run ... -curve -format csv                # learner-health curve
+//	inspect learner -run ... -check                            # anomaly gate, exit 0/1
+//	inspect learner -explain explain.json                      # pretty-print a prefetchd explain dump
 //
 // The spans subcommand renders a span file recorded with a command's -spans
 // flag (the same Chrome trace-event JSON Perfetto loads): per-cell phase
@@ -25,6 +29,11 @@
 // The serve subcommand renders LOADGEN_<n>.json artifacts from cmd/loadgen:
 // achieved throughput, client latency percentiles, degradation rates, and
 // the daemon-side scrape; with two artifacts it prints a delta table.
+//
+// The learner subcommand renders the learner-introspection layer: the
+// health report and anomaly gate over an artifact's final counters, the
+// per-interval learner-health curve, and a pretty-printer for explain
+// dumps fetched live from prefetchd (the explain protocol frame).
 //
 // Exit codes follow the harness contract: 0 ok, 1 the artifact or trace
 // is missing/corrupt, 2 usage error.
@@ -55,6 +64,9 @@ func run(args []string, stdout io.Writer) int {
 	}
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "learner" {
+		return runLearner(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
 	var (
@@ -177,6 +189,11 @@ func renderCurve(art *exp.RunArtifact, format string, w io.Writer) error {
 		"predictions", "real", "shadow", "expired",
 		"accuracy", "epsilon", "cst_entries", "cst_links", "cst_mean_score",
 		"activations", "deactivations",
+		"accurate", "late", "evicted", "useless",
+		"explores", "exploits", "suppressed",
+		"pos_rewards", "neg_rewards", "zero_rewards",
+		"cst_insertions", "cst_replacements", "cst_rejects",
+		"cst_positive_links", "cst_saturated_links",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -191,6 +208,11 @@ func renderCurve(art *exp.RunArtifact, format string, w io.Writer) error {
 			u(sm.Predictions), u(sm.Real), u(sm.Shadow), u(sm.Expired),
 			f(sm.Accuracy), f(sm.Epsilon), strconv.Itoa(sm.CSTEntries), strconv.Itoa(sm.CSTLinks), f(sm.CSTMeanScore),
 			u(sm.Activations), u(sm.Deactivations),
+			u(sm.Accurate), u(sm.Late), u(sm.Evicted), u(sm.Useless),
+			u(sm.Explores), u(sm.Exploits), u(sm.Suppressed),
+			u(sm.PosRewards), u(sm.NegRewards), u(sm.ZeroRewards),
+			u(sm.CSTInsertions), u(sm.CSTReplacements), u(sm.CSTRejects),
+			strconv.Itoa(sm.CSTPositiveLinks), strconv.Itoa(sm.CSTSaturatedLinks),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

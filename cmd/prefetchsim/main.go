@@ -26,12 +26,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
 	"os/signal"
+	"reflect"
 	"strings"
 	"syscall"
 	"time"
@@ -327,9 +329,72 @@ func runRemote(ctx context.Context, logger *slog.Logger, stdout io.Writer, tr *t
 		return harness.ExitCancelled
 	case mismatched > 0:
 		logger.Error("daemon diverged from the in-process learner", "mismatched", mismatched)
+		dumpDivergence(logger, stdout, c, local)
 		return harness.ExitRunFailed
 	}
 	return harness.ExitOK
+}
+
+// dumpDivergence prints both sides' learner state after a cross-check
+// mismatch: the daemon's per-session stats frame (with its learner-health
+// snapshot) next to the in-process learner's health, so the first
+// diverging counter is visible without re-running under a tracer.
+func dumpDivergence(logger *slog.Logger, stdout io.Writer, c *client.Client, local *serve.Learner) {
+	st, err := c.Stats()
+	if err != nil {
+		logger.Error("fetching session stats after mismatch", "err", err)
+		return
+	}
+	lh := local.Health()
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	fmt.Fprintln(stdout, "remote session stats:")
+	if err := enc.Encode(st); err != nil {
+		logger.Error("encoding remote stats", "err", err)
+		return
+	}
+	fmt.Fprintln(stdout, "local learner health:")
+	if err := enc.Encode(&lh); err != nil {
+		logger.Error("encoding local health", "err", err)
+		return
+	}
+	if st.Learner != nil {
+		if first := firstHealthDiff(st.Learner, &lh); first != "" {
+			logger.Error("first diverging learner-health field", "field", first)
+		}
+	}
+}
+
+// firstHealthDiff names the first learner-health field that differs
+// between the remote and local snapshots (JSON field order), or "".
+func firstHealthDiff(remote, local *core.LearnerHealth) string {
+	rb, err1 := json.Marshal(remote)
+	lb, err2 := json.Marshal(local)
+	if err1 != nil || err2 != nil {
+		return ""
+	}
+	var rm, lm map[string]any
+	if json.Unmarshal(rb, &rm) != nil || json.Unmarshal(lb, &lm) != nil {
+		return ""
+	}
+	for _, k := range healthFieldOrder {
+		if !reflect.DeepEqual(rm[k], lm[k]) {
+			return k
+		}
+	}
+	return ""
+}
+
+// healthFieldOrder lists counter-ish LearnerHealth JSON fields in rough
+// causal order, so the reported "first diff" points at the earliest
+// divergence rather than a downstream symptom.
+var healthFieldOrder = []string{
+	"accesses", "predictions", "explores", "exploits", "suppressed",
+	"real_prefetches", "shadow_prefetches", "queue_hits",
+	"outcome_accurate", "outcome_late", "outcome_evicted", "outcome_useless",
+	"pos_rewards", "neg_rewards", "zero_rewards",
+	"cst_insertions", "cst_replacements", "cst_rejects",
+	"cst_entries", "cst_links", "positive_links", "saturated_links",
 }
 
 func f(n uint64, d float64) float64 {

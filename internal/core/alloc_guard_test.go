@@ -15,6 +15,31 @@ import (
 // (plus a ns/op ceiling); this test makes `go test ./...` catch an
 // allocation regression without running benchmarks. Race builds are
 // excluded: the detector's instrumentation perturbs allocation counts.
+// TestLearnerHealthSnapshotZeroAlloc extends the contract to the
+// introspection layer (DESIGN.md §18): the health counters are plain
+// integer field updates on paths OnAccess already executes, and taking a
+// LearnerHealth snapshot is a value copy plus one table scan — neither may
+// allocate, so a serving daemon can export per-session health on every
+// stats frame without GC pressure.
+func TestLearnerHealthSnapshotZeroAlloc(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	iss := &benchIssuer{free: 4}
+	stream := benchStream(4096)
+	for i := range stream {
+		p.OnAccess(&stream[i], iss)
+	}
+	var sink LearnerHealth
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = p.LearnerHealth()
+	})
+	if allocs != 0 {
+		t.Fatalf("LearnerHealth allocates %.2f allocs/op, want 0", allocs)
+	}
+	if sink.Accesses == 0 {
+		t.Fatal("snapshot empty after a warm stream")
+	}
+}
+
 func TestOnAccessZeroAllocTelemetryDisabled(t *testing.T) {
 	for _, kind := range []PolicyKind{PolicyEpsilonGreedy, PolicySoftmax, PolicyUCB} {
 		t.Run(kind.String(), func(t *testing.T) {

@@ -190,14 +190,32 @@ func (e *cstEntry) rebuildOrder() {
 	}
 }
 
+// candOutcome classifies what addCandidate did with a collected delta —
+// the per-event eviction-churn signal the learner-health counters
+// aggregate.
+type candOutcome uint8
+
+const (
+	// candNoop: the delta was already a tracked candidate.
+	candNoop candOutcome = iota
+	// candInserted: the delta filled a free link slot.
+	candInserted
+	// candReplaced: the delta evicted the lowest-scoring unprotected link.
+	candReplaced
+	// candRejected: the delta was dropped because the victim was protected
+	// (positive score, or replacement hysteresis withheld the token).
+	candRejected
+)
+
 // addCandidate records that `delta` followed this context, inserting it as
 // an exploration candidate if it is not already tracked. New candidates
 // start at score 0 and replace the lowest-scoring link — but an occupied
 // victim is only replaced when allowReplace is set (the caller passes a
 // probabilistic token), so resident candidates survive long enough for
 // their delayed rewards to arrive. Positive-scored links are never
-// evicted (score-based replacement, §5).
-func (e *cstEntry) addCandidate(delta int8, allowReplace bool) {
+// evicted (score-based replacement, §5). The return value classifies the
+// outcome.
+func (e *cstEntry) addCandidate(delta int8, allowReplace bool) candOutcome {
 	worst := 0
 	for i := 0; i < int(e.links); i++ {
 		if !e.isUsed(i) {
@@ -205,7 +223,7 @@ func (e *cstEntry) addCandidate(delta int8, allowReplace bool) {
 			break
 		}
 		if e.deltas[i] == delta {
-			return // already a candidate; scores move only via rewards
+			return candNoop // already a candidate; scores move only via rewards
 		}
 		if e.scores[i] < e.scores[worst] {
 			worst = i
@@ -217,9 +235,11 @@ func (e *cstEntry) addCandidate(delta int8, allowReplace bool) {
 		// hysteresis); the candidate is dropped but the contention is
 		// recorded as churn (overload signal).
 		e.noteChurn()
-		return
+		return candRejected
 	}
+	out := candInserted
 	if wUsed {
+		out = candReplaced
 		e.noteChurn()
 		e.removeFromOrder(uint8(worst))
 	} else {
@@ -229,6 +249,7 @@ func (e *cstEntry) addCandidate(delta int8, allowReplace bool) {
 	e.deltas[worst] = delta
 	e.scores[worst] = 0
 	e.insertIntoOrder(uint8(worst))
+	return out
 }
 
 // best returns the index of the highest-scoring link, or -1 if none.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"semloc/internal/memmodel"
 	"semloc/internal/obs"
 	"semloc/internal/prefetch"
@@ -37,9 +39,65 @@ type Metrics struct {
 	Expired uint64
 	// Activations and Deactivations count reducer attribute changes.
 	Activations, Deactivations uint64
+
+	// Outcome taxonomy: every prefetch dispatched to memory ends in exactly
+	// one of four buckets. Accurate = consumed by a demand access at a
+	// depth earning a positive reward; Late = consumed but past the useful
+	// window (reward <= 0); Evicted = displaced from the prefetch queue
+	// unconsumed; Useless = still pending in the queue at snapshot time.
+	// OutcomeUseless is snapshot-only: the Metrics accessor fills it from
+	// the live pending count, the internal field stays zero (saved states
+	// store zero and recompute the pending count from the queue on
+	// restore). OutcomeCarried counts dispatches still pending when the
+	// counters were last reset (the warm-up boundary), so the books
+	// balance: Accurate + Late + Evicted + Useless == RealPrefetches +
+	// OutcomeCarried at every snapshot (CheckOutcomes asserts it).
+	OutcomeAccurate uint64
+	OutcomeLate     uint64
+	OutcomeEvicted  uint64
+	OutcomeUseless  uint64
+	OutcomeCarried  uint64
+
+	// Explores counts policy-selected exploration trainings; Exploits
+	// counts best-link exploitation dispatch attempts; Suppressed counts
+	// prediction rounds where the best score sat under ScoreThreshold and
+	// only a shadow trained.
+	Explores   uint64
+	Exploits   uint64
+	Suppressed uint64
+
+	// PosRewards/NegRewards/ZeroRewards split queue-hit rewards by sign
+	// (real and shadow alike) — the learner's reward-sign mix.
+	PosRewards  uint64
+	NegRewards  uint64
+	ZeroRewards uint64
+
+	// CSTInsertions/CSTReplacements/CSTRejects classify candidate
+	// collection: a fresh link slot filled, a resident unprotected link
+	// evicted for a newcomer, or a newcomer dropped because the victim was
+	// protected (positive score or replacement hysteresis) — the last two
+	// are the eviction-churn signal.
+	CSTInsertions   uint64
+	CSTReplacements uint64
+	CSTRejects      uint64
+
 	// HitDepths is the distribution of prediction-to-demand distances in
 	// accesses (real and shadow predictions alike, as in Figure 8).
 	HitDepths *stats.Histogram
+}
+
+// CheckOutcomes asserts the outcome-taxonomy count-match invariant on a
+// snapshot returned by the Metrics accessor: every dispatched prefetch is
+// accounted for exactly once.
+func (m *Metrics) CheckOutcomes() error {
+	got := m.OutcomeAccurate + m.OutcomeLate + m.OutcomeEvicted + m.OutcomeUseless
+	want := m.RealPrefetches + m.OutcomeCarried
+	if got != want {
+		return fmt.Errorf("core: outcome taxonomy mismatch: accurate %d + late %d + evicted %d + useless %d = %d, want real %d + carried %d = %d",
+			m.OutcomeAccurate, m.OutcomeLate, m.OutcomeEvicted, m.OutcomeUseless, got,
+			m.RealPrefetches, m.OutcomeCarried, want)
+	}
+	return nil
 }
 
 // Prefetcher is the context-based prefetcher. It implements
@@ -54,6 +112,13 @@ type Prefetcher struct {
 	machine machineState
 	index   uint64 // demand access counter
 	metrics Metrics
+	// pendingIssued tracks dispatched prefetches still live and unconsumed
+	// in the queue: ++ on dispatch, -- when a demand access consumes one or
+	// an eviction displaces one. It is derived state (always equal to the
+	// queue's live && !hit && issued population) kept incrementally so the
+	// Metrics accessor can fill OutcomeUseless without scanning the ring;
+	// restore recomputes it from the queue.
+	pendingIssued uint64
 	// rewardTab memoizes cfg.Reward.Reward(depth) for depths up to the
 	// point where the bell settles at the expiry penalty; rewardAt consults
 	// it so the feedback path does no float math per queue hit.
@@ -122,8 +187,14 @@ func MustNew(cfg Config) *Prefetcher {
 // Name implements prefetch.Prefetcher.
 func (*Prefetcher) Name() string { return "context" }
 
-// Metrics returns a snapshot of the internal counters.
-func (p *Prefetcher) Metrics() Metrics { return p.metrics }
+// Metrics returns a snapshot of the internal counters. The snapshot's
+// OutcomeUseless is the current pending-issued population (the internal
+// field is always zero), so CheckOutcomes holds on every snapshot.
+func (p *Prefetcher) Metrics() Metrics {
+	m := p.metrics
+	m.OutcomeUseless = p.pendingIssued
+	return m
+}
 
 // Accuracy returns the policy's moving estimate of queue hit rate.
 func (p *Prefetcher) Accuracy() float64 { return p.policy.accuracy }
@@ -132,9 +203,14 @@ func (p *Prefetcher) Accuracy() float64 { return p.policy.accuracy }
 func (p *Prefetcher) Epsilon() float64 { return p.policy.epsilon }
 
 // ResetMetrics clears counters (at the warm-up boundary) while keeping all
-// learned state, as hardware would.
+// learned state, as hardware would. Dispatches still pending in the queue
+// carry over as OutcomeCarried so the outcome taxonomy stays balanced when
+// their fates land after the boundary.
 func (p *Prefetcher) ResetMetrics() {
-	p.metrics = Metrics{HitDepths: stats.NewHistogram(p.cfg.QueueDepth)}
+	p.metrics = Metrics{
+		OutcomeCarried: p.pendingIssued,
+		HitDepths:      stats.NewHistogram(p.cfg.QueueDepth),
+	}
 }
 
 // OnAccess implements prefetch.Prefetcher: Algorithm 1's three parallel
@@ -168,6 +244,14 @@ func (p *Prefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) {
 		p.metrics.QueueHits++
 		p.metrics.HitDepths.Add(depth)
 		r := p.rewardAt(depth)
+		switch {
+		case r > 0:
+			p.metrics.PosRewards++
+		case r < 0:
+			p.metrics.NegRewards++
+		default:
+			p.metrics.ZeroRewards++
+		}
 		if entry := p.table.lookup(e.key); entry != nil {
 			entry.rewardSlot(e.slot, e.delta, r)
 		}
@@ -177,6 +261,12 @@ func (p *Prefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) {
 		// The policy's accuracy estimate tracks the hit rate of actual
 		// prefetches (§5); shadow training does not throttle the degree.
 		if e.issued {
+			p.pendingIssued--
+			if r > 0 {
+				p.metrics.OutcomeAccurate++
+			} else {
+				p.metrics.OutcomeLate++
+			}
 			p.policy.feedback(r > 0)
 		}
 	})
@@ -191,7 +281,14 @@ func (p *Prefetcher) OnAccess(a *prefetch.Access, iss prefetch.Issuer) {
 		delta := block - h.block
 		if delta != 0 && delta >= -128 && delta <= 127 {
 			entry, _ := p.table.ensure(h.key)
-			entry.addCandidate(int8(delta), p.policy.next()&3 == 0)
+			switch entry.addCandidate(int8(delta), p.policy.next()&3 == 0) {
+			case candInserted:
+				p.metrics.CSTInsertions++
+			case candReplaced:
+				p.metrics.CSTReplacements++
+			case candRejected:
+				p.metrics.CSTRejects++
+			}
 		}
 	}
 
@@ -243,9 +340,10 @@ func (p *Prefetcher) predict(entry *cstEntry, key cstKey, block int64, a *prefet
 	entry.noteTrial()
 	if !p.cfg.DisableShadow {
 		if li := p.policy.exploreChoice(p.cfg.Policy, entry); li >= 0 {
-			real := p.enqueue(entry.deltas[li], uint8(li), key, block, a, iss, false)
+			p.metrics.Explores++
+			real, reason := p.enqueue(entry.deltas[li], uint8(li), key, block, a, iss, false)
 			if p.obs != nil {
-				p.traceDecision(entry, key, entry.deltas[li], real, true)
+				p.traceDecision(entry, key, entry.deltas[li], real, true, reason)
 			}
 		}
 	}
@@ -278,54 +376,93 @@ func (p *Prefetcher) predict(entry *cstEntry, key cstKey, block int64, a *prefet
 			// but keep training — a random under-threshold candidate goes
 			// into the queue as a shadow so its reward can be measured
 			// (ties would otherwise always train the same link).
+			p.metrics.Suppressed++
 			if !p.cfg.DisableShadow {
 				li := p.policy.pickSlot(entry)
-				real := p.enqueue(entry.deltas[li], uint8(li), key, block, a, iss, false)
+				real, reason := p.enqueue(entry.deltas[li], uint8(li), key, block, a, iss, false)
+				if reason == ReasonShadow {
+					reason = ReasonSuppressed
+				}
 				if p.obs != nil {
-					p.traceDecision(entry, key, entry.deltas[li], real, true)
+					p.traceDecision(entry, key, entry.deltas[li], real, true, reason)
 				}
 			}
 			break
 		}
-		dispatched := p.enqueue(delta, uint8(best), key, block, a, iss, true)
+		p.metrics.Exploits++
+		dispatched, reason := p.enqueue(delta, uint8(best), key, block, a, iss, true)
 		if p.obs != nil {
-			p.traceDecision(entry, key, delta, dispatched, false)
+			p.traceDecision(entry, key, delta, dispatched, false, reason)
 		}
 		issued++
 	}
 }
 
+// Issue/suppress reasons attached to decision attribution: why a
+// prediction did or did not dispatch to memory. The values are package
+// constants (never built per decision), so recording one costs a pointer
+// copy and no allocation.
+const (
+	// ReasonIssued marks a prediction dispatched to memory.
+	ReasonIssued = "issued"
+	// ReasonShadow marks a training-only prediction (exploration or an
+	// explicit shadow) that was never meant to dispatch.
+	ReasonShadow = "shadow"
+	// ReasonSuppressed marks the threshold-suppression shadow: the best
+	// candidate's score sat under ScoreThreshold, so the round trained a
+	// random link instead of spending memory traffic.
+	ReasonSuppressed = "suppressed"
+	// ReasonMSHRDemoted marks a wanted-real prediction demoted to a shadow
+	// because the memory system was stressed (free MSHRs below reserve).
+	ReasonMSHRDemoted = "mshr-demoted"
+	// ReasonDupDemoted marks a wanted-real prediction demoted because the
+	// block was already in flight from an earlier context.
+	ReasonDupDemoted = "dup-demoted"
+	// ReasonNegTarget marks a prediction dropped outright: the delta
+	// pointed below address zero.
+	ReasonNegTarget = "negative-target"
+	// ReasonRefused marks a wanted-real prediction the issuer refused to
+	// dispatch (no slot at issue time); it trains as a shadow.
+	ReasonRefused = "refused"
+)
+
 // enqueue pushes one prediction into the prefetch queue, dispatching it to
 // memory unless it is a shadow, a duplicate, or the MSHRs are depleted.
 // Expired queue entries displaced by the push receive the expiry penalty.
 // It reports whether the prediction actually dispatched to memory (false
-// for shadows and demotions), which the decision trace records.
-func (p *Prefetcher) enqueue(delta int8, slot uint8, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer, wantReal bool) bool {
+// for shadows and demotions) and why, which the decision trace records.
+func (p *Prefetcher) enqueue(delta int8, slot uint8, key cstKey, block int64, a *prefetch.Access, iss prefetch.Issuer, wantReal bool) (bool, string) {
 	target := block + int64(delta)
 	if target < 0 {
-		return false
+		return false, ReasonNegTarget
 	}
 	addr := memmodel.Addr(uint64(target) << p.cfg.BlockShift)
 
 	// The target's bucket chain head serves both the duplicate check and
 	// the push below.
 	b := p.queue.bucket(target)
-	real := wantReal
-	if real && iss.FreePrefetchSlots(a.Now) < p.cfg.MSHRReserve {
-		// Memory system stressed: demote to a shadow operation (§4.2).
-		real = false
+	real, reason := wantReal, ReasonShadow
+	if real {
+		reason = ReasonIssued
+		if iss.FreePrefetchSlots(a.Now) < p.cfg.MSHRReserve {
+			// Memory system stressed: demote to a shadow operation (§4.2).
+			real, reason = false, ReasonMSHRDemoted
+		}
 	}
 	if real {
 		if predicted, issuedBefore := p.queue.containsAt(b, target); predicted && issuedBefore {
 			// Already in flight from an earlier context: re-enqueue as a
 			// shadow to train this context-address pair too (§4.2).
-			real = false
+			real, reason = false, ReasonDupDemoted
 		}
 	}
 
 	dispatched := false
 	if real {
 		dispatched = iss.Prefetch(addr, a.Now)
+		if !dispatched {
+			reason = ReasonRefused
+		}
 	}
 	if !dispatched {
 		iss.Shadow(addr)
@@ -334,6 +471,7 @@ func (p *Prefetcher) enqueue(delta int8, slot uint8, key cstKey, block int64, a 
 	p.metrics.Predictions++
 	if dispatched {
 		p.metrics.RealPrefetches++
+		p.pendingIssued++
 	} else {
 		p.metrics.ShadowPrefetches++
 	}
@@ -344,11 +482,13 @@ func (p *Prefetcher) enqueue(delta int8, slot uint8, key cstKey, block int64, a 
 			entry.rewardSlot(exp.slot, exp.delta, p.expPenalty)
 		}
 		if exp.issued {
+			p.pendingIssued--
+			p.metrics.OutcomeEvicted++
 			p.policy.feedback(false)
 		}
 		if p.obs != nil {
 			p.traceExpire(exp.key, exp.delta, p.expPenalty, exp.issued)
 		}
 	}
-	return dispatched
+	return dispatched, reason
 }

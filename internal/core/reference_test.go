@@ -92,7 +92,7 @@ func (e *refEntry) candidates() []int {
 	return out
 }
 
-func (e *refEntry) addCandidate(delta int8, allowReplace bool) {
+func (e *refEntry) addCandidate(delta int8, allowReplace bool) candOutcome {
 	worst := 0
 	for i := range e.links {
 		if !e.links[i].used {
@@ -100,7 +100,7 @@ func (e *refEntry) addCandidate(delta int8, allowReplace bool) {
 			break
 		}
 		if e.links[i].delta == delta {
-			return
+			return candNoop
 		}
 		if e.links[i].score < e.links[worst].score {
 			worst = i
@@ -109,12 +109,15 @@ func (e *refEntry) addCandidate(delta int8, allowReplace bool) {
 	w := &e.links[worst]
 	if w.used && (w.score > 0 || !allowReplace) {
 		e.noteChurn()
-		return
+		return candRejected
 	}
+	out := candInserted
 	if w.used {
+		out = candReplaced
 		e.noteChurn()
 	}
 	*w = refLink{delta: delta, used: true}
+	return out
 }
 
 func (e *refEntry) reward(delta int8, amount int8) {
@@ -169,6 +172,9 @@ type refPrefetcher struct {
 	machine machineState
 	index   uint64
 	metrics Metrics
+	// pendingIssued mirrors the production derived counter: dispatched
+	// prefetches still live and unconsumed in the queue.
+	pendingIssued uint64
 }
 
 func newRefPrefetcher(cfg Config) *refPrefetcher {
@@ -239,10 +245,24 @@ func (p *refPrefetcher) onAccess(a *prefetch.Access, iss prefetch.Issuer) {
 	p.queue.match(block, p.index, func(e *pfEntry, depth int) {
 		p.metrics.QueueHits++
 		r := p.cfg.Reward.Reward(depth)
+		switch {
+		case r > 0:
+			p.metrics.PosRewards++
+		case r < 0:
+			p.metrics.NegRewards++
+		default:
+			p.metrics.ZeroRewards++
+		}
 		if entry := p.table.lookup(e.key); entry != nil {
 			entry.reward(e.delta, r)
 		}
 		if e.issued {
+			p.pendingIssued--
+			if r > 0 {
+				p.metrics.OutcomeAccurate++
+			} else {
+				p.metrics.OutcomeLate++
+			}
 			p.policy.feedback(r > 0)
 		}
 	})
@@ -251,7 +271,14 @@ func (p *refPrefetcher) onAccess(a *prefetch.Access, iss prefetch.Issuer) {
 	if h := p.history.at(d); h != nil {
 		delta := block - h.block
 		if delta != 0 && delta >= -128 && delta <= 127 {
-			p.table.ensure(h.key).addCandidate(int8(delta), p.policy.next()&3 == 0)
+			switch p.table.ensure(h.key).addCandidate(int8(delta), p.policy.next()&3 == 0) {
+			case candInserted:
+				p.metrics.CSTInsertions++
+			case candReplaced:
+				p.metrics.CSTReplacements++
+			case candRejected:
+				p.metrics.CSTRejects++
+			}
 		}
 	}
 
@@ -297,6 +324,7 @@ func (p *refPrefetcher) predict(entry *refEntry, key cstKey, block int64, a *pre
 	entry.noteTrial()
 	if !p.cfg.DisableShadow {
 		if li := p.exploreChoice(entry, cands); li >= 0 {
+			p.metrics.Explores++
 			p.enqueue(entry.links[li].delta, key, block, a, iss, false)
 		}
 	}
@@ -319,12 +347,14 @@ func (p *refPrefetcher) predict(entry *refEntry, key cstKey, block int64, a *pre
 		usedMask |= 1 << best
 		l := entry.links[best]
 		if l.score < p.cfg.ScoreThreshold {
+			p.metrics.Suppressed++
 			if !p.cfg.DisableShadow {
 				li := p.policy.pick(cands)
 				p.enqueue(entry.links[li].delta, key, block, a, iss, false)
 			}
 			break
 		}
+		p.metrics.Exploits++
 		p.enqueue(l.delta, key, block, a, iss, true)
 		issued++
 	}
@@ -356,6 +386,7 @@ func (p *refPrefetcher) enqueue(delta int8, key cstKey, block int64, a *prefetch
 	p.metrics.Predictions++
 	if dispatched {
 		p.metrics.RealPrefetches++
+		p.pendingIssued++
 	} else {
 		p.metrics.ShadowPrefetches++
 	}
@@ -369,6 +400,8 @@ func (p *refPrefetcher) enqueue(delta int8, key cstKey, block int64, a *prefetch
 			entry.reward(expired.delta, p.cfg.Reward.Expired())
 		}
 		if expired.issued {
+			p.pendingIssued--
+			p.metrics.OutcomeEvicted++
 			p.policy.feedback(false)
 		}
 	}
@@ -471,6 +504,7 @@ func compareLearners(t *testing.T, cfg Config, stream []prefetch.Access) {
 	}
 
 	fm, rm := fast.Metrics(), ref.metrics
+	rm.OutcomeUseless = ref.pendingIssued
 	fm.HitDepths, rm.HitDepths = nil, nil
 	if fm != rm {
 		t.Fatalf("metrics diverged:\nfast %+v\nref  %+v", fm, rm)

@@ -252,6 +252,9 @@ func NewFromState(st *LearnerState) (*Prefetcher, error) {
 	p.index = st.Index
 	p.metrics = st.Metrics
 	p.metrics.HitDepths = st.Metrics.HitDepths.Clone()
+	// OutcomeUseless is snapshot-only (see Metrics): the live struct keeps
+	// it zero and the accessor fills it from the recomputed pending count.
+	p.metrics.OutcomeUseless = 0
 	p.policy.epsilon = st.Policy.Epsilon
 	p.policy.base = st.Policy.Base
 	p.policy.accuracy = st.Policy.Accuracy
@@ -295,9 +298,17 @@ func NewFromState(st *LearnerState) (*Prefetcher, error) {
 	}
 	// Rebuild the block→entry bucket index: link live, unhit slots in
 	// ascending slot order, reproducing the chains the saving queue held.
+	// The pending-issued count (which the Metrics accessor reports as
+	// OutcomeUseless) is derived from the same population, so recompute it
+	// here rather than serializing it: a restored prefetcher's taxonomy
+	// books balance exactly like the saver's did.
+	p.pendingIssued = 0
 	for i := range p.queue.entries {
 		if p.queue.entries[i].live && !p.queue.entries[i].hit {
 			p.queue.link(p.queue.bucket(p.queue.entries[i].block), int32(i))
+			if p.queue.entries[i].issued {
+				p.pendingIssued++
+			}
 		}
 	}
 	return p, nil

@@ -36,20 +36,35 @@ func (p *Prefetcher) TelemetrySnapshot() obs.CoreSnapshot {
 		top[i] = obs.DeltaCount{Delta: d.Delta, Count: d.Count}
 	}
 	return obs.CoreSnapshot{
-		Accesses:         p.metrics.Accesses,
-		Predictions:      p.metrics.Predictions,
-		RealPrefetches:   p.metrics.RealPrefetches,
-		ShadowPrefetches: p.metrics.ShadowPrefetches,
-		QueueHits:        p.metrics.QueueHits,
-		Expired:          p.metrics.Expired,
-		Activations:      p.metrics.Activations,
-		Deactivations:    p.metrics.Deactivations,
-		Accuracy:         p.policy.accuracy,
-		Epsilon:          p.policy.epsilon,
-		CSTEntries:       st.Entries,
-		CSTLinks:         st.Links,
-		CSTMeanScore:     st.MeanScore,
-		TopDeltas:        top,
+		Accesses:          p.metrics.Accesses,
+		Predictions:       p.metrics.Predictions,
+		RealPrefetches:    p.metrics.RealPrefetches,
+		ShadowPrefetches:  p.metrics.ShadowPrefetches,
+		QueueHits:         p.metrics.QueueHits,
+		Expired:           p.metrics.Expired,
+		Activations:       p.metrics.Activations,
+		Deactivations:     p.metrics.Deactivations,
+		OutcomeAccurate:   p.metrics.OutcomeAccurate,
+		OutcomeLate:       p.metrics.OutcomeLate,
+		OutcomeEvicted:    p.metrics.OutcomeEvicted,
+		OutcomeUseless:    p.pendingIssued,
+		Explores:          p.metrics.Explores,
+		Exploits:          p.metrics.Exploits,
+		Suppressed:        p.metrics.Suppressed,
+		PosRewards:        p.metrics.PosRewards,
+		NegRewards:        p.metrics.NegRewards,
+		ZeroRewards:       p.metrics.ZeroRewards,
+		CSTInsertions:     p.metrics.CSTInsertions,
+		CSTReplacements:   p.metrics.CSTReplacements,
+		CSTRejects:        p.metrics.CSTRejects,
+		Accuracy:          p.policy.accuracy,
+		Epsilon:           p.policy.epsilon,
+		CSTEntries:        st.Entries,
+		CSTLinks:          st.Links,
+		CSTPositiveLinks:  st.PositiveLinks,
+		CSTSaturatedLinks: st.SaturatedLinks,
+		CSTMeanScore:      st.MeanScore,
+		TopDeltas:         top,
 	}
 }
 
@@ -58,11 +73,11 @@ func (p *Prefetcher) TelemetrySnapshot() obs.CoreSnapshot {
 func contextID(k cstKey) uint64 { return uint64(k.idx)<<8 | uint64(k.tag) }
 
 // traceDecision emits one sampled "decide" event: the candidate links the
-// prediction unit considered, the delta it chose, and whether the
-// prediction dispatched to memory or trained as a shadow. Callers guard
-// with p.obs != nil; the candidate slice is only built once the event is
-// actually sampled.
-func (p *Prefetcher) traceDecision(entry *cstEntry, key cstKey, delta int8, real, explore bool) {
+// prediction unit considered, the delta it chose, whether the prediction
+// dispatched to memory or trained as a shadow, and the issue/suppress
+// reason. Callers guard with p.obs != nil; the candidate slice is only
+// built once the event is actually sampled.
+func (p *Prefetcher) traceDecision(entry *cstEntry, key cstKey, delta int8, real, explore bool, reason string) {
 	if !p.obs.TraceDue() {
 		return
 	}
@@ -73,6 +88,7 @@ func (p *Prefetcher) traceDecision(entry *cstEntry, key cstKey, delta int8, real
 		Delta:   delta,
 		Real:    real,
 		Explore: explore,
+		Reason:  reason,
 	}
 	for li := 0; li < int(entry.links); li++ {
 		if entry.isUsed(li) {

@@ -12,8 +12,13 @@ import (
 	"semloc/internal/sim"
 )
 
-// ArtifactSchema versions the per-run JSON artifact format.
-const ArtifactSchema = 1
+// ArtifactSchema versions the per-run JSON artifact format. Schema 2 added
+// the learner-health fields (outcome taxonomy, explore/exploit split,
+// reward-sign mix, CST churn) to Metrics and the interval samples; schema 1
+// artifacts still load (their learner fields read as zero), but the
+// outcome count-match invariant is only asserted on schema >= 2, where the
+// writer recorded it.
+const ArtifactSchema = 2
 
 // RunArtifact is the per-run JSON file the Runner writes into
 // Options.OutDir: one self-contained record per (workload, prefetcher)
@@ -45,14 +50,22 @@ func (a *RunArtifact) Validate() error {
 	if a == nil {
 		return fmt.Errorf("exp: nil artifact")
 	}
-	if a.Schema != ArtifactSchema {
-		return fmt.Errorf("exp: artifact schema %d, want %d", a.Schema, ArtifactSchema)
+	if a.Schema != 1 && a.Schema != ArtifactSchema {
+		return fmt.Errorf("exp: artifact schema %d, want 1 or %d", a.Schema, ArtifactSchema)
 	}
 	if a.Workload == "" || a.Prefetcher == "" {
 		return fmt.Errorf("exp: artifact missing run identity")
 	}
 	if a.Result == nil {
 		return fmt.Errorf("exp: artifact %s/%s has no result", a.Workload, a.Prefetcher)
+	}
+	if a.Schema >= 2 && a.Metrics != nil {
+		// The outcome taxonomy must balance: accurate + late + evicted +
+		// useless == real prefetches + carried. Only schema >= 2 writers
+		// recorded the taxonomy, so older artifacts are exempt.
+		if err := a.Metrics.CheckOutcomes(); err != nil {
+			return fmt.Errorf("exp: artifact %s/%s: %w", a.Workload, a.Prefetcher, err)
+		}
 	}
 	if s := a.Result.Series; s != nil {
 		if err := s.Validate(); err != nil {

@@ -84,6 +84,7 @@ type Runner struct {
 	traces *TraceCache
 	pool   *sim.RunPool
 	met    *runMetrics
+	lm     *obs.LearnerMetrics
 	spans  *obs.SpanRecorder
 
 	mu      sync.Mutex
@@ -129,12 +130,20 @@ func NewRunnerContext(ctx context.Context, opts Options) *Runner {
 	if opts.Spans != nil {
 		tc.SetSpans(opts.Spans)
 	}
+	// Learner-health instruments only register when an interval-sampled
+	// run will actually feed them: a metric-carrying but telemetry-free
+	// sweep keeps its /metrics surface unchanged.
+	var lm *obs.LearnerMetrics
+	if opts.Telemetry.Interval > 0 {
+		lm = obs.NewLearnerMetrics(opts.Metrics)
+	}
 	return &Runner{
 		opts:    opts,
 		ctx:     ctx,
 		traces:  tc,
 		pool:    sim.NewRunPool(),
 		met:     newRunMetrics(opts.Metrics),
+		lm:      lm,
 		spans:   opts.Spans,
 		results: make(map[string]*sim.Result),
 		errs:    make(map[string]error),
@@ -256,6 +265,9 @@ func (r *Runner) run(workload, prefetcher string) (*sim.Result, error) {
 	if r.opts.Telemetry.Interval > 0 || r.opts.Telemetry.DecisionRate > 0 {
 		simCfg.Obs = r.opts.Telemetry
 		simCfg.Obs.DecisionSink = nil
+		// Live learner-health gauges are last-writer-wins across parallel
+		// cells (counters sum), exactly like the cell-level run metrics.
+		simCfg.Obs.Learner = r.lm
 		// Only instrumented prefetchers emit decision events; skip the file
 		// for the rest so the artifact dir isn't littered with empty traces.
 		_, instrumented := pf.(obs.Attachable)

@@ -41,6 +41,11 @@ type DecisionEvent struct {
 	Real bool `json:"real"`
 	// Explore marks policy-exploration choices (decide events).
 	Explore bool `json:"explore,omitempty"`
+	// Reason is the issue/suppress attribution of a decide event: why the
+	// prediction dispatched ("issued") or trained as a shadow ("shadow",
+	// "suppressed", "mshr-demoted", "dup-demoted", "negative-target",
+	// "refused" — see the core.Reason* constants).
+	Reason string `json:"reason,omitempty"`
 	// Reward is the applied reward (reward/expire events).
 	Reward int8 `json:"reward,omitempty"`
 	// Depth is the prediction-to-demand distance in accesses (reward

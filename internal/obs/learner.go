@@ -1,0 +1,113 @@
+package obs
+
+// Learner-health metric names, published by LearnerMetrics when a live
+// registry is attached to an instrumented run (sweep/experiments -listen).
+// Counters carry the cumulative learner-health totals across every sampled
+// run; gauges hold the most recently sampled run's point-in-time learner
+// state (last-writer-wins across parallel cells, like GaugeLastIPC).
+const (
+	MetricLearnerAccurate     = "learner_outcome_accurate_total"
+	MetricLearnerLate         = "learner_outcome_late_total"
+	MetricLearnerEvicted      = "learner_outcome_evicted_total"
+	MetricLearnerExplores     = "learner_explores_total"
+	MetricLearnerExploits     = "learner_exploits_total"
+	MetricLearnerSuppressed   = "learner_suppressed_total"
+	MetricLearnerPosRewards   = "learner_pos_rewards_total"
+	MetricLearnerNegRewards   = "learner_neg_rewards_total"
+	MetricLearnerZeroRewards  = "learner_zero_rewards_total"
+	MetricLearnerInsertions   = "learner_cst_insertions_total"
+	MetricLearnerReplacements = "learner_cst_replacements_total"
+	MetricLearnerRejects      = "learner_cst_rejects_total"
+	GaugeLearnerEpsilon       = "learner_epsilon"
+	GaugeLearnerAccuracy      = "learner_accuracy"
+	GaugeLearnerUseless       = "learner_outcome_useless"
+	GaugeLearnerCSTEntries    = "learner_cst_entries"
+	GaugeLearnerCSTLinks      = "learner_cst_links"
+	GaugeLearnerCSTPositive   = "learner_cst_positive_links"
+	GaugeLearnerCSTSaturated  = "learner_cst_saturated_links"
+	GaugeLearnerMeanScore     = "learner_cst_mean_score"
+	HistLearnerQueueHitRate   = "learner_queue_hit_rate"
+)
+
+// LearnerMetrics bridges interval samples into a live metrics registry, so
+// /metrics carries the learner-health series while instrumented runs
+// execute. A nil *LearnerMetrics (no registry attached) is the disabled
+// configuration: Update is nil-safe and the collector hook reduces to one
+// branch. Updates happen once per sampling interval — never on the
+// per-access hot path.
+type LearnerMetrics struct {
+	accurate, late, evicted            *Counter
+	explores, exploits, suppressed     *Counter
+	posRewards, negRewards, zeroRew    *Counter
+	insertions, replacements, rejects  *Counter
+	epsilon, accuracy, useless         *Gauge
+	cstEntries, cstLinks               *Gauge
+	cstPositive, cstSaturated, meanSco *Gauge
+	hitRate                            *Histogram
+}
+
+// hitRateBuckets spans the per-interval queue-hit rate: the rate can
+// exceed 1 (one access can consume several queued predictions), so the
+// buckets run 1% .. 256% by doubling.
+var hitRateBuckets = []float64{0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56}
+
+// NewLearnerMetrics registers the learner-health instruments on reg, or
+// returns nil when reg is nil (the no-op path).
+func NewLearnerMetrics(reg *Registry) *LearnerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &LearnerMetrics{
+		accurate:     reg.Counter(MetricLearnerAccurate, "issued prefetches consumed in the useful window"),
+		late:         reg.Counter(MetricLearnerLate, "issued prefetches consumed past the useful window"),
+		evicted:      reg.Counter(MetricLearnerEvicted, "issued prefetches displaced from the queue unconsumed"),
+		explores:     reg.Counter(MetricLearnerExplores, "policy exploration trainings"),
+		exploits:     reg.Counter(MetricLearnerExploits, "best-link exploitation dispatch attempts"),
+		suppressed:   reg.Counter(MetricLearnerSuppressed, "prediction rounds suppressed under the score threshold"),
+		posRewards:   reg.Counter(MetricLearnerPosRewards, "queue-hit rewards with positive sign"),
+		negRewards:   reg.Counter(MetricLearnerNegRewards, "queue-hit rewards with negative sign"),
+		zeroRew:      reg.Counter(MetricLearnerZeroRewards, "queue-hit rewards with zero value"),
+		insertions:   reg.Counter(MetricLearnerInsertions, "CST candidate link insertions"),
+		replacements: reg.Counter(MetricLearnerReplacements, "CST candidate link replacements"),
+		rejects:      reg.Counter(MetricLearnerRejects, "CST candidate inserts rejected by protected victims"),
+		epsilon:      reg.Gauge(GaugeLearnerEpsilon, "exploration rate of the most recently sampled run"),
+		accuracy:     reg.Gauge(GaugeLearnerAccuracy, "policy accuracy estimate of the most recently sampled run"),
+		useless:      reg.Gauge(GaugeLearnerUseless, "issued prefetches still pending in the queue"),
+		cstEntries:   reg.Gauge(GaugeLearnerCSTEntries, "occupied CST entries"),
+		cstLinks:     reg.Gauge(GaugeLearnerCSTLinks, "resident CST links"),
+		cstPositive:  reg.Gauge(GaugeLearnerCSTPositive, "CST links with positive accumulated reward"),
+		cstSaturated: reg.Gauge(GaugeLearnerCSTSaturated, "CST links pinned at the score ceiling"),
+		meanSco:      reg.Gauge(GaugeLearnerMeanScore, "mean CST link score"),
+		hitRate:      reg.Histogram(HistLearnerQueueHitRate, "per-interval queue-hit rate", hitRateBuckets),
+	}
+}
+
+// Update publishes one interval sample: counters advance by the sample's
+// interval deltas, gauges take the point-in-time values, and the hit-rate
+// histogram observes the interval's rate.
+func (lm *LearnerMetrics) Update(s *Sample) {
+	if lm == nil {
+		return
+	}
+	lm.accurate.Add(s.Accurate)
+	lm.late.Add(s.Late)
+	lm.evicted.Add(s.Evicted)
+	lm.explores.Add(s.Explores)
+	lm.exploits.Add(s.Exploits)
+	lm.suppressed.Add(s.Suppressed)
+	lm.posRewards.Add(s.PosRewards)
+	lm.negRewards.Add(s.NegRewards)
+	lm.zeroRew.Add(s.ZeroRewards)
+	lm.insertions.Add(s.CSTInsertions)
+	lm.replacements.Add(s.CSTReplacements)
+	lm.rejects.Add(s.CSTRejects)
+	lm.epsilon.Set(s.Epsilon)
+	lm.accuracy.Set(s.Accuracy)
+	lm.useless.Set(float64(s.Useless))
+	lm.cstEntries.Set(float64(s.CSTEntries))
+	lm.cstLinks.Set(float64(s.CSTLinks))
+	lm.cstPositive.Set(float64(s.CSTPositiveLinks))
+	lm.cstSaturated.Set(float64(s.CSTSaturatedLinks))
+	lm.meanSco.Set(s.CSTMeanScore)
+	lm.hitRate.Observe(s.QueueHitRate)
+}

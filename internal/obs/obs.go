@@ -51,6 +51,11 @@ type Config struct {
 	// DecisionSink receives the JSONL decision-event stream. Decision
 	// tracing is off when nil, whatever DecisionRate says.
 	DecisionSink io.Writer `json:"-"`
+	// Learner, when non-nil, receives each interval sample as live
+	// learner-health gauges/counters (see LearnerMetrics), so a /metrics
+	// endpoint carries the learning curve while the run executes. It only
+	// fires at interval boundaries; nil keeps Record registry-free.
+	Learner *LearnerMetrics `json:"-"`
 }
 
 // Enabled reports whether the configuration switches any telemetry on.
@@ -79,15 +84,35 @@ type CoreSnapshot struct {
 	Expired          uint64
 	Activations      uint64
 	Deactivations    uint64
+	// Learner-health counters (cumulative): prefetch outcome taxonomy,
+	// explore/exploit/suppress decision split, reward-sign mix, and CST
+	// candidate-collection churn. OutcomeUseless is a point-in-time gauge
+	// (dispatches still pending in the queue), not a cumulative counter.
+	OutcomeAccurate uint64
+	OutcomeLate     uint64
+	OutcomeEvicted  uint64
+	OutcomeUseless  uint64
+	Explores        uint64
+	Exploits        uint64
+	Suppressed      uint64
+	PosRewards      uint64
+	NegRewards      uint64
+	ZeroRewards     uint64
+	CSTInsertions   uint64
+	CSTReplacements uint64
+	CSTRejects      uint64
 	// Accuracy and Epsilon are the policy's instantaneous estimates.
 	Accuracy float64
 	Epsilon  float64
 	// CSTEntries/CSTLinks/CSTMeanScore/TopDeltas summarize the learned
-	// table state at the boundary.
-	CSTEntries   int
-	CSTLinks     int
-	CSTMeanScore float64
-	TopDeltas    []DeltaCount
+	// table state at the boundary; CSTPositiveLinks/CSTSaturatedLinks are
+	// the score-distribution gauges.
+	CSTEntries        int
+	CSTLinks          int
+	CSTPositiveLinks  int
+	CSTSaturatedLinks int
+	CSTMeanScore      float64
+	TopDeltas         []DeltaCount
 }
 
 // MachineSnapshot is the cumulative machine-side state (core model and
@@ -144,15 +169,33 @@ type Sample struct {
 	Expired       uint64 `json:"expired"`
 	Activations   uint64 `json:"activations"`
 	Deactivations uint64 `json:"deactivations"`
+	// Learner-health interval deltas: outcome taxonomy, explore/exploit/
+	// suppress decision split, reward-sign mix, and CST collection churn.
+	Accurate        uint64 `json:"accurate"`
+	Late            uint64 `json:"late"`
+	Evicted         uint64 `json:"evicted"`
+	Explores        uint64 `json:"explores"`
+	Exploits        uint64 `json:"exploits"`
+	Suppressed      uint64 `json:"suppressed"`
+	PosRewards      uint64 `json:"pos_rewards"`
+	NegRewards      uint64 `json:"neg_rewards"`
+	ZeroRewards     uint64 `json:"zero_rewards"`
+	CSTInsertions   uint64 `json:"cst_insertions"`
+	CSTReplacements uint64 `json:"cst_replacements"`
+	CSTRejects      uint64 `json:"cst_rejects"`
 	// QueueHitRate is QueueHits/Accesses over the interval.
 	QueueHitRate float64 `json:"queue_hit_rate"`
-	// Accuracy/Epsilon and the CST gauges are point-in-time learner state.
-	Accuracy     float64      `json:"accuracy"`
-	Epsilon      float64      `json:"epsilon"`
-	CSTEntries   int          `json:"cst_entries"`
-	CSTLinks     int          `json:"cst_links"`
-	CSTMeanScore float64      `json:"cst_mean_score"`
-	TopDeltas    []DeltaCount `json:"top_deltas,omitempty"`
+	// Accuracy/Epsilon and the CST gauges are point-in-time learner state;
+	// Useless is the pending-issued population at the boundary.
+	Accuracy          float64      `json:"accuracy"`
+	Epsilon           float64      `json:"epsilon"`
+	Useless           uint64       `json:"useless"`
+	CSTEntries        int          `json:"cst_entries"`
+	CSTLinks          int          `json:"cst_links"`
+	CSTPositiveLinks  int          `json:"cst_positive_links"`
+	CSTSaturatedLinks int          `json:"cst_saturated_links"`
+	CSTMeanScore      float64      `json:"cst_mean_score"`
+	TopDeltas         []DeltaCount `json:"top_deltas,omitempty"`
 }
 
 // Series is the exported time series of one run.
@@ -285,12 +328,29 @@ func (c *Collector) Record(index uint64, m MachineSnapshot, cs CoreSnapshot) {
 		Expired:       delta(cs.Expired, c.prev.Expired),
 		Activations:   delta(cs.Activations, c.prev.Activations),
 		Deactivations: delta(cs.Deactivations, c.prev.Deactivations),
-		Accuracy:      cs.Accuracy,
-		Epsilon:       cs.Epsilon,
-		CSTEntries:    cs.CSTEntries,
-		CSTLinks:      cs.CSTLinks,
-		CSTMeanScore:  cs.CSTMeanScore,
-		TopDeltas:     cs.TopDeltas,
+
+		Accurate:        delta(cs.OutcomeAccurate, c.prev.OutcomeAccurate),
+		Late:            delta(cs.OutcomeLate, c.prev.OutcomeLate),
+		Evicted:         delta(cs.OutcomeEvicted, c.prev.OutcomeEvicted),
+		Explores:        delta(cs.Explores, c.prev.Explores),
+		Exploits:        delta(cs.Exploits, c.prev.Exploits),
+		Suppressed:      delta(cs.Suppressed, c.prev.Suppressed),
+		PosRewards:      delta(cs.PosRewards, c.prev.PosRewards),
+		NegRewards:      delta(cs.NegRewards, c.prev.NegRewards),
+		ZeroRewards:     delta(cs.ZeroRewards, c.prev.ZeroRewards),
+		CSTInsertions:   delta(cs.CSTInsertions, c.prev.CSTInsertions),
+		CSTReplacements: delta(cs.CSTReplacements, c.prev.CSTReplacements),
+		CSTRejects:      delta(cs.CSTRejects, c.prev.CSTRejects),
+
+		Accuracy:          cs.Accuracy,
+		Epsilon:           cs.Epsilon,
+		Useless:           cs.OutcomeUseless,
+		CSTEntries:        cs.CSTEntries,
+		CSTLinks:          cs.CSTLinks,
+		CSTPositiveLinks:  cs.CSTPositiveLinks,
+		CSTSaturatedLinks: cs.CSTSaturatedLinks,
+		CSTMeanScore:      cs.CSTMeanScore,
+		TopDeltas:         cs.TopDeltas,
 	}
 	if m.Cycles > 0 {
 		s.IPC = float64(m.Instructions) / float64(m.Cycles)
@@ -307,6 +367,7 @@ func (c *Collector) Record(index uint64, m MachineSnapshot, cs CoreSnapshot) {
 	}
 	c.prev = cs
 	c.prevMach = m
+	c.cfg.Learner.Update(&s)
 	c.series.Samples = append(c.series.Samples, s)
 	if len(c.series.Samples) > c.maxSamples {
 		c.decimate()
@@ -334,6 +395,18 @@ func (c *Collector) decimate() {
 		m.Expired = a.Expired + b.Expired
 		m.Activations = a.Activations + b.Activations
 		m.Deactivations = a.Deactivations + b.Deactivations
+		m.Accurate = a.Accurate + b.Accurate
+		m.Late = a.Late + b.Late
+		m.Evicted = a.Evicted + b.Evicted
+		m.Explores = a.Explores + b.Explores
+		m.Exploits = a.Exploits + b.Exploits
+		m.Suppressed = a.Suppressed + b.Suppressed
+		m.PosRewards = a.PosRewards + b.PosRewards
+		m.NegRewards = a.NegRewards + b.NegRewards
+		m.ZeroRewards = a.ZeroRewards + b.ZeroRewards
+		m.CSTInsertions = a.CSTInsertions + b.CSTInsertions
+		m.CSTReplacements = a.CSTReplacements + b.CSTReplacements
+		m.CSTRejects = a.CSTRejects + b.CSTRejects
 		if dc := delta(b.Cycles, prev.Cycles); dc > 0 {
 			m.IntervalIPC = float64(delta(b.Instructions, prev.Instructions)) / float64(dc)
 		}

@@ -661,6 +661,47 @@ func (c *Client) Stats() (*serve.SessionStats, error) {
 	}
 }
 
+// Explain fetches the live learner-introspection report for this
+// client's session: the learner-health snapshot plus the topK hottest
+// contexts with their candidate score tables (topK 0 takes the server
+// default, serve.DefaultExplainContexts). Lockstep like Stats: call it
+// between Decide exchanges, not concurrently.
+func (c *Client) Explain(topK int) (*serve.ExplainReport, error) {
+	if topK < 0 || topK > serve.MaxExplainContexts {
+		return nil, fmt.Errorf("client: explain topK %d out of range [0,%d]", topK, serve.MaxExplainContexts)
+	}
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.send(&serve.Frame{Type: serve.FrameExplain, TopK: topK}, c.cfg.RequestTimeout); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	for {
+		c.conn.SetReadDeadline(deadline)
+		got, err := c.r.Read()
+		if err != nil {
+			return nil, err
+		}
+		switch got.Type {
+		case serve.FrameExplain:
+			if got.Explain == nil {
+				return nil, fmt.Errorf("client: explain reply without payload")
+			}
+			return got.Explain, nil
+		case serve.FrameDecision, serve.FramePong:
+			// Late answers to earlier traffic (duplicated by a chaos
+			// proxy): skip.
+		case serve.FrameError:
+			return nil, fmt.Errorf("client: explain: server error %s: %s", got.Code, got.Msg)
+		default:
+			return nil, fmt.Errorf("client: explain answered with %s", got.Type)
+		}
+	}
+}
+
 // Close detaches politely (bye) and closes the connection.
 func (c *Client) Close() error {
 	if c.conn == nil {

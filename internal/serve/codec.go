@@ -56,6 +56,12 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 // reports false if any string needs escaping (the caller then falls back
 // to json.Marshal).
 func appendFrameFast(dst []byte, f *Frame) ([]byte, bool) {
+	// Introspection payloads (explain requests/replies, stats with a
+	// learner-health snapshot) are rare and structurally deep: leave them
+	// to encoding/json rather than mirror the nested schema here.
+	if f.TopK != 0 || f.Explain != nil || (f.Stats != nil && f.Stats.Learner != nil) {
+		return dst, false
+	}
 	var ok bool
 	dst = append(dst, `{"type":`...)
 	if dst, ok = appendString(dst, string(f.Type)); !ok {
@@ -698,6 +704,8 @@ func internFrameType(b []byte) (FrameType, bool) {
 		return FramePong, true
 	case string(FrameStats):
 		return FrameStats, true
+	case string(FrameExplain):
+		return FrameExplain, true
 	case string(FrameBye):
 		return FrameBye, true
 	}

@@ -56,6 +56,16 @@ func (l *Learner) Save() *core.LearnerState { return l.pf.SaveState() }
 // Accesses returns how many accesses this learner has applied.
 func (l *Learner) Accesses() uint64 { return l.pf.Metrics().Accesses }
 
+// Health snapshots the learner's RL health (outcome taxonomy,
+// explore/exploit split, reward-sign mix, CST occupancy and churn).
+func (l *Learner) Health() core.LearnerHealth { return l.pf.LearnerHealth() }
+
+// Explain returns the learner's top-K hottest contexts with their
+// candidate score tables (see core.ExplainTopContexts).
+func (l *Learner) Explain(topK int) []core.ContextExplain {
+	return l.pf.ExplainTopContexts(topK)
+}
+
 // Decide applies one access frame and returns the decision frame (without
 // Seq, which the session fills in).
 func (l *Learner) Decide(fr *Frame) *Frame {

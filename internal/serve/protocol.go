@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"semloc/internal/core"
 )
 
 // ProtocolVersion is negotiated in the hello/welcome handshake.
@@ -59,6 +61,11 @@ const (
 	// is negotiated at hello (Frame.Batch); connections that did not
 	// negotiate it never see this type.
 	FrameBatch FrameType = "batch"
+	// FrameExplain requests (client → server, optional TopK) or carries
+	// (server → client, Explain set) a live learner-introspection report
+	// for the attached session: the learner-health snapshot plus the
+	// top-K hottest contexts with their candidate score tables.
+	FrameExplain FrameType = "explain"
 )
 
 // MaxBatch bounds the number of accesses one batch frame may carry. The
@@ -98,6 +105,27 @@ type SessionStats struct {
 	InboxHighWater int    `json:"inbox_high_water"`
 	LastSeq        uint64 `json:"last_seq"`
 	Attached       bool   `json:"attached"`
+	// Learner is the session learner's health snapshot at stats time
+	// (nil when the session was already closed). Stats frames carrying it
+	// take the encoding/json path — stats are rare, decisions are not.
+	Learner *core.LearnerHealth `json:"learner,omitempty"`
+}
+
+// MaxExplainContexts bounds an explain request's TopK so the reply stays
+// well under MaxFrameBytes whatever the learner's CST width.
+const MaxExplainContexts = 64
+
+// DefaultExplainContexts is the context count served when an explain
+// request leaves TopK zero.
+const DefaultExplainContexts = 8
+
+// ExplainReport is the explain frame's payload: a live view of one
+// session's learner — the health snapshot plus the hottest contexts
+// (most-trialed first) with their candidate score tables.
+type ExplainReport struct {
+	Session  string                `json:"session"`
+	Health   core.LearnerHealth    `json:"health"`
+	Contexts []core.ContextExplain `json:"contexts,omitempty"`
 }
 
 // Hints mirrors trace.SWHints on the wire.
@@ -195,6 +223,12 @@ type Frame struct {
 	// Stats payload (server → client stats frames only).
 	Stats *SessionStats `json:"stats,omitempty"`
 
+	// Explain payload: TopK on the request bounds how many hottest
+	// contexts the reply carries (0: DefaultExplainContexts); Explain on
+	// the reply is the session's learner-introspection report.
+	TopK    int            `json:"top_k,omitempty"`
+	Explain *ExplainReport `json:"explain,omitempty"`
+
 	// Error payload.
 	Code string `json:"code,omitempty"`
 	Msg  string `json:"msg,omitempty"`
@@ -252,6 +286,12 @@ func (f *Frame) Validate() error {
 	case FrameStats:
 		// Valid both ways: the request carries no payload, the reply
 		// carries Stats.
+	case FrameExplain:
+		// Valid both ways: the request carries an optional TopK bound, the
+		// reply carries Explain.
+		if f.TopK < 0 || f.TopK > MaxExplainContexts {
+			return fmt.Errorf("serve: explain top_k %d out of range [0,%d]", f.TopK, MaxExplainContexts)
+		}
 	case FrameError:
 		if f.Code == "" {
 			return fmt.Errorf("serve: error frame without code")

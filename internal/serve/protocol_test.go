@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"semloc/internal/core"
 )
 
 func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
@@ -27,6 +29,20 @@ func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
 		{Type: FrameStats, Stats: &SessionStats{
 			ID: "s1", Decisions: 10, Degraded: 2, Replayed: 1,
 			InboxHighWater: 3, LastSeq: 10, Attached: true}},
+		{Type: FrameStats, Stats: &SessionStats{
+			ID: "s1", Decisions: 10, LastSeq: 10, Attached: true,
+			Learner: &core.LearnerHealth{
+				Accesses: 10, Predictions: 4, RealPrefetches: 2,
+				OutcomeAccurate: 1, OutcomeUseless: 1,
+				Epsilon: 0.5, CSTEntries: 3, CSTCapacity: 512}}},
+		{Type: FrameExplain},
+		{Type: FrameExplain, TopK: 4},
+		{Type: FrameExplain, Explain: &ExplainReport{
+			Session: "s1",
+			Health:  core.LearnerHealth{Accesses: 10, Explores: 2, PosRewards: 1},
+			Contexts: []core.ContextExplain{{
+				Context: 0xabc, Trials: 7, Churn: 1,
+				Links: []core.LinkExplain{{Delta: 2, Score: 5}, {Delta: -3, Score: -1}}}}}},
 		{Type: FrameBye},
 	}
 	for _, f := range frames {
@@ -59,6 +75,8 @@ func TestFrameValidateRejects(t *testing.T) {
 		{Type: FrameHello, Version: ProtocolVersion, Session: strings.Repeat("x", 129)},
 		{Type: FrameAccess},
 		{Type: FrameError},
+		{Type: FrameExplain, TopK: -1},
+		{Type: FrameExplain, TopK: MaxExplainContexts + 1},
 	}
 	for i, f := range bad {
 		if err := f.Validate(); err == nil {
@@ -209,6 +227,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte(`{"type":"batch","accesses":[]}`))                    // zero-length: rejected
 	f.Add([]byte(`{"type":"batch","accesses":[{"seq":3},{"seq":3}]}`)) // duplicate seqs: rejected
 	f.Add([]byte(`{"type":"batch","accesses":[{"seq":3},{"seq":9}]}`)) // gapped seqs: rejected
+	f.Add([]byte(`{"type":"explain"}`))
+	f.Add([]byte(`{"type":"explain","top_k":4}`))
+	f.Add([]byte(`{"type":"explain","top_k":-1}`)) // negative top_k: rejected
+	f.Add([]byte(`{"type":"explain","explain":{"session":"s1","health":{"accesses":10,"real_prefetches":2,"outcome_accurate":1,"outcome_useless":1,"epsilon":0.5},"contexts":[{"context":123,"trials":7,"churn":1,"links":[{"delta":2,"score":5},{"delta":-3,"score":-1}]}]}}`))
+	f.Add([]byte(`{"type":"stats","stats":{"id":"s1","decisions":10,"degraded":0,"replayed":0,"inbox_high_water":1,"last_seq":10,"attached":true,"learner":{"accesses":10,"predictions":4,"real_prefetches":2,"outcome_accurate":1,"outcome_useless":1,"cst_entries":3,"cst_capacity":512}}}`))
 	f.Add(append([]byte(`{"type":"batch","accesses":[{"seq":1}`),
 		append(bytes.Repeat([]byte(`,{"seq":2}`), MaxBatch), ']', '}')...)) // oversize: rejected
 	f.Fuzz(func(t *testing.T, line []byte) {

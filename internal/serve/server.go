@@ -553,6 +553,15 @@ func (s *Server) handleConn(c net.Conn) {
 			st := sess.stats()
 			w.write(&Frame{Type: FrameStats, Stats: &st})
 			s.putFrame(fr)
+		case FrameExplain:
+			rep := sess.explain(fr.TopK)
+			s.putFrame(fr)
+			if rep == nil {
+				w.write(&Frame{Type: FrameError, Code: CodeSessionClosed,
+					Msg: "session closed or expired; reconnect with a new hello"})
+				continue
+			}
+			w.write(&Frame{Type: FrameExplain, Explain: rep})
 		case FrameBye:
 			s.putFrame(fr)
 			return

@@ -154,13 +154,20 @@ func (s *session) enqueue(it inboxItem) enqueueResult {
 	}
 }
 
-// stats snapshots the session's serving statistics.
+// stats snapshots the session's serving statistics, including the
+// learner's health snapshot (taken under the session lock, so it is
+// always consistent with a decision boundary — never mid-access).
 func (s *session) stats() SessionStats {
 	s.attachMu.Lock()
 	attached := s.attached != nil
 	s.attachMu.Unlock()
 	s.mu.Lock()
 	lastSeq, hw := s.lastSeq, s.inboxHW
+	var lh *core.LearnerHealth
+	if !s.closed {
+		h := s.learner.Health()
+		lh = &h
+	}
 	s.mu.Unlock()
 	return SessionStats{
 		ID:             s.id,
@@ -170,6 +177,30 @@ func (s *session) stats() SessionStats {
 		InboxHighWater: hw,
 		LastSeq:        lastSeq,
 		Attached:       attached,
+		Learner:        lh,
+	}
+}
+
+// explain builds the session's live learner-introspection report: the
+// health snapshot plus the topK hottest contexts, captured under the
+// session lock (so a concurrent worker never mutates the CST mid-scan).
+// Returns nil when the session is closed.
+func (s *session) explain(topK int) *ExplainReport {
+	if topK <= 0 {
+		topK = DefaultExplainContexts
+	}
+	if topK > MaxExplainContexts {
+		topK = MaxExplainContexts
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return &ExplainReport{
+		Session:  s.id,
+		Health:   s.learner.Health(),
+		Contexts: s.learner.Explain(topK),
 	}
 }
 
